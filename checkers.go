@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/runtime"
+)
+
+// CheckResult is the outcome of a distributed local verification run
+// (Section 1.3's locally-verifiable checking): per-node verdicts and whether
+// every node accepted. The predictions form a correct solution if and only
+// if AllAccept.
+type CheckResult struct {
+	// Run carries the round/message metrics (checkers take <= 2 rounds).
+	Run Result
+	// Verdicts holds 1 (accept) or 0 (reject) per node index.
+	Verdicts []int
+	// AllAccept reports whether every node accepted.
+	AllAccept bool
+}
+
+func runChecker(g *Graph, factory runtime.Factory, preds []any, opts Options) (*CheckResult, error) {
+	raw, err := runAndCollect(g, factory, preds, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckResult{
+		Run:       baseResult(raw),
+		Verdicts:  make([]int, g.N()),
+		AllAccept: true,
+	}
+	for i, o := range raw.Outputs {
+		v, ok := o.(int)
+		if !ok {
+			return nil, fmt.Errorf("repro: checker node %d produced %T", g.ID(i), o)
+		}
+		out.Verdicts[i] = v
+		if v == check.Reject {
+			out.AllAccept = false
+		}
+	}
+	return out, nil
+}
+
+// CheckMIS runs the two-round distributed MIS checker: AllAccept iff preds
+// is a maximal independent set of g.
+func CheckMIS(g *Graph, preds []int, opts Options) (*CheckResult, error) {
+	return runChecker(g, check.MIS(), intPreds(preds), opts)
+}
+
+// CheckMatching runs the two-round distributed maximal-matching checker.
+func CheckMatching(g *Graph, preds []int, opts Options) (*CheckResult, error) {
+	return runChecker(g, check.Matching(), intPreds(preds), opts)
+}
+
+// CheckVColor runs the distributed (Δ+1)-coloring checker.
+func CheckVColor(g *Graph, preds []int, opts Options) (*CheckResult, error) {
+	return runChecker(g, check.VColor(), intPreds(preds), opts)
+}
+
+// CheckEColor runs the distributed (2Δ−1)-edge-coloring checker.
+func CheckEColor(g *Graph, preds []EdgePrediction, opts Options) (*CheckResult, error) {
+	anyPreds := make([]any, len(preds))
+	for i, p := range preds {
+		anyPreds[i] = []int(p)
+	}
+	return runChecker(g, check.EColor(), anyPreds, opts)
+}

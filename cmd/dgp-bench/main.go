@@ -1,0 +1,51 @@
+// Command dgp-bench regenerates the experiment tables documented in
+// DESIGN.md and EXPERIMENTS.md: every quantitative claim in "Distributed
+// Graph Algorithms with Predictions" (lemma and corollary bounds, figure
+// constructions, the Section 10 randomized example) as a text table.
+//
+// Usage:
+//
+//	dgp-bench            # run every experiment
+//	dgp-bench -exp E5    # run one experiment
+//	dgp-bench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "", "run a single experiment id (e.g. E5)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *exp != "" {
+		e := bench.Find(*exp)
+		if e == nil {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+		for _, t := range e.Run() {
+			t.Render(os.Stdout)
+		}
+		return nil
+	}
+	bench.RenderAll(os.Stdout)
+	return nil
+}

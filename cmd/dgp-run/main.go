@@ -1,0 +1,243 @@
+// Command dgp-run executes one (problem, algorithm, graph, prediction)
+// configuration and prints the outcome: rounds, message counts, the error
+// measures of the instance, and optionally the outputs.
+//
+// Usage examples:
+//
+//	dgp-run -problem mis -alg parallel -graph gnp -n 200 -p 0.05 -flips 10
+//	dgp-run -problem matching -alg simple -graph grid -n 144 -flips 4
+//	dgp-run -problem tree -alg simple -graph line -n 90 -flips 6 -show
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		problem = flag.String("problem", "mis", "mis | matching | vcolor | ecolor | tree")
+		alg     = flag.String("alg", "simple", "algorithm within the problem (see -help text per problem)")
+		gname   = flag.String("graph", "gnp", "gnp | grid | ring | line | tree | clique | star | wheel | paths")
+		n       = flag.Int("n", 100, "node count (side^2 for grid)")
+		p       = flag.Float64("p", 0.05, "edge probability for gnp")
+		flips   = flag.Int("flips", 0, "number of perturbed predictions")
+		seed    = flag.Int64("seed", 1, "seed for graphs, predictions, and seeded algorithms")
+		par     = flag.Bool("parallel", false, "use the goroutine engine")
+		show    = flag.Bool("show", false, "print the output vector")
+		trace   = flag.Bool("trace", false, "print a per-round trace (active node counts)")
+		congest = flag.Int("congest", 0, "enforce a CONGEST bit budget (0 = LOCAL)")
+	)
+	flag.Parse()
+
+	rng := repro.NewRand(*seed)
+	var g *repro.Graph
+	switch *gname {
+	case "gnp":
+		g = repro.GNP(*n, *p, rng)
+	case "grid":
+		side := isqrt(*n)
+		g = repro.Grid2D(side, side)
+	case "ring":
+		g = repro.Ring(*n)
+	case "line":
+		g = repro.Line(*n)
+	case "tree":
+		g = repro.RandomTree(*n, rng)
+	case "clique":
+		g = repro.Clique(*n)
+	case "star":
+		g = repro.Star(*n)
+	case "wheel":
+		g = repro.WheelFk(*n / 2)
+	case "paths":
+		g = repro.DisjointPaths(*n/8, 8)
+	default:
+		return fmt.Errorf("unknown graph %q", *gname)
+	}
+	opts := repro.Options{Parallel: *par, Seed: *seed, CongestBits: *congest}
+	if *trace {
+		last := -1
+		opts.OnRound = func(round, active int) {
+			if active != last {
+				fmt.Printf("round %4d: %d active\n", round, active)
+				last = active
+			}
+		}
+	}
+
+	switch *problem {
+	case "mis":
+		return runMIS(g, *alg, *flips, opts, *show)
+	case "matching":
+		return runMatching(g, *alg, *flips, opts, *show)
+	case "vcolor":
+		return runVColor(g, *alg, *flips, opts, *show)
+	case "ecolor":
+		return runEColor(g, *alg, *flips, opts, *show)
+	case "tree":
+		return runTree(g, *alg, *flips, opts, *show)
+	default:
+		return fmt.Errorf("unknown problem %q", *problem)
+	}
+}
+
+func isqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+func runMIS(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
+	algs := map[string]repro.MISAlgorithm{
+		"greedy":      repro.MISGreedy,
+		"uniform":     repro.MISSimpleUniform,
+		"simple":      repro.MISSimple,
+		"bw":          repro.MISSimpleBW,
+		"luby":        repro.MISSimpleLuby,
+		"collect":     repro.MISSimpleCollect,
+		"consecutive": repro.MISConsecutiveCollect,
+		"decomp":      repro.MISConsecutiveDecomp,
+		"interleaved": repro.MISInterleavedDecomp,
+		"parallel":    repro.MISParallelColoring,
+	}
+	a, ok := algs[alg]
+	if !ok {
+		return fmt.Errorf("unknown MIS algorithm %q", alg)
+	}
+	preds := repro.FlipBits(repro.PerfectMIS(g), flips, repro.NewRand(opts.Seed+1))
+	errs, err := repro.MISErrorReport(g, preds)
+	if err != nil {
+		return err
+	}
+	res, err := repro.RunMIS(g, preds, a, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d delta=%d\n", g.N(), g.M(), g.MaxDegree())
+	fmt.Printf("errors: eta1=%d eta2=%d eta_bw=%d components=%d\n",
+		errs.Eta1, errs.Eta2, errs.EtaBW, errs.Components)
+	fmt.Printf("result: rounds=%d messages=%d maxMsgBits=%d\n",
+		res.Run.Rounds, res.Run.Messages, res.Run.MaxMsgBits)
+	if show {
+		fmt.Printf("in-set: %v\n", res.InSet)
+	}
+	return nil
+}
+
+func runMatching(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
+	algs := map[string]repro.MatchingAlgorithm{
+		"greedy":      repro.MatchingGreedy,
+		"simple":      repro.MatchingSimple,
+		"collect":     repro.MatchingSimpleCollect,
+		"consecutive": repro.MatchingConsecutive,
+		"parallel":    repro.MatchingParallel,
+	}
+	a, ok := algs[alg]
+	if !ok {
+		return fmt.Errorf("unknown matching algorithm %q", alg)
+	}
+	preds := repro.PerturbMatching(g, repro.PerfectMatching(g), flips, repro.NewRand(opts.Seed+1))
+	res, err := repro.RunMatching(g, preds, a, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("errors: eta1=%d\n", repro.MatchingEta1(g, preds))
+	fmt.Printf("result: rounds=%d messages=%d\n", res.Run.Rounds, res.Run.Messages)
+	if show {
+		fmt.Printf("partners: %v\n", res.Partner)
+	}
+	return nil
+}
+
+func runVColor(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
+	algs := map[string]repro.VColorAlgorithm{
+		"greedy":      repro.VColorGreedy,
+		"simple":      repro.VColorSimple,
+		"linial":      repro.VColorSimpleLinial,
+		"consecutive": repro.VColorConsecutive,
+		"standalone":  repro.VColorLinial,
+		"interleaved": repro.VColorInterleaved,
+		"parallel":    repro.VColorParallel,
+	}
+	a, ok := algs[alg]
+	if !ok {
+		return fmt.Errorf("unknown vertex-coloring algorithm %q", alg)
+	}
+	preds := repro.PerturbVColor(g, repro.PerfectVColor(g), flips, repro.NewRand(opts.Seed+1))
+	res, err := repro.RunVColor(g, preds, a, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("errors: eta1=%d\n", repro.VColorEta1(g, preds))
+	fmt.Printf("result: rounds=%d messages=%d\n", res.Run.Rounds, res.Run.Messages)
+	if show {
+		fmt.Printf("colors: %v\n", res.Color)
+	}
+	return nil
+}
+
+func runEColor(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
+	algs := map[string]repro.EColorAlgorithm{
+		"greedy":      repro.EColorGreedy,
+		"simple":      repro.EColorSimple,
+		"collect":     repro.EColorSimpleCollect,
+		"consecutive": repro.EColorConsecutive,
+		"parallel":    repro.EColorParallel,
+	}
+	a, ok := algs[alg]
+	if !ok {
+		return fmt.Errorf("unknown edge-coloring algorithm %q", alg)
+	}
+	preds := repro.PerturbEColor(g, repro.PerfectEColor(g), flips, repro.NewRand(opts.Seed+1))
+	res, err := repro.RunEColor(g, preds, a, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("errors: eta1=%d\n", repro.EColorEta1(g, preds))
+	fmt.Printf("result: rounds=%d messages=%d\n", res.Run.Rounds, res.Run.Messages)
+	if show {
+		fmt.Printf("edge colors: %v\n", res.EdgeColor)
+	}
+	return nil
+}
+
+func runTree(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
+	r := repro.RootAt(g, 0)
+	if g.M() >= g.N() {
+		return fmt.Errorf("tree problem requires an acyclic graph (use -graph line or -graph tree)")
+	}
+	algs := map[string]repro.TreeMISAlgorithm{
+		"greedy":      repro.TreeRootsLeaves,
+		"simple":      repro.TreeSimple,
+		"parallel":    repro.TreeParallel,
+		"consecutive": repro.TreeConsecutive,
+	}
+	a, ok := algs[alg]
+	if !ok {
+		return fmt.Errorf("unknown tree algorithm %q", alg)
+	}
+	preds := repro.FlipBits(repro.PerfectMIS(g), flips, repro.NewRand(opts.Seed+1))
+	res, err := repro.RunTreeMIS(r, preds, a, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("errors: eta_t=%d\n", repro.TreeEtaT(r, preds))
+	fmt.Printf("result: rounds=%d messages=%d\n", res.Run.Rounds, res.Run.Messages)
+	if show {
+		fmt.Printf("in-set: %v\n", res.InSet)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleRunMIS runs the Corollary 12 algorithm on a ring whose predictions
+// contain one error: the two adjacent prediction-1 nodes form the only error
+// component, so the algorithm finishes within a few rounds of the
+// consistency bound.
+func ExampleRunMIS() {
+	g := repro.Ring(12)
+	preds := repro.PerfectMIS(g)
+	preds[1] = 1 // corrupt one bit
+
+	res, err := repro.RunMIS(g, preds, repro.MISParallelColoring, repro.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("valid:", len(res.InSet) == g.N())
+	fmt.Println("rounds <= 7:", res.Run.Rounds <= 7)
+	// Output:
+	// valid: true
+	// rounds <= 7: true
+}
+
+// ExampleMISErrorReport computes the paper's error measures for a grid with
+// the Figure 2 black/white prediction pattern: the whole grid is one error
+// component (η₁ = n) but the black and white components have 4 nodes each.
+func ExampleMISErrorReport() {
+	g := repro.Grid2D(8, 8)
+	preds := repro.GridBW(8, 8)
+	errs, err := repro.MISErrorReport(g, preds)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("eta1:", errs.Eta1)
+	fmt.Println("eta_bw:", errs.EtaBW)
+	// Output:
+	// eta1: 64
+	// eta_bw: 4
+}
+
+// ExampleRunTreeMIS demonstrates the Section 9.2 example: the mod-3 line has
+// η₁ = n but the rooted-tree initialization finishes it in three rounds.
+func ExampleRunTreeMIS() {
+	r := repro.DirectedLine(30)
+	preds := repro.Mod3Line(10)
+	res, err := repro.RunTreeMIS(r, preds, repro.TreeSimple, repro.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("eta_t:", repro.TreeEtaT(r, preds))
+	fmt.Println("rounds:", res.Run.Rounds)
+	// Output:
+	// eta_t: 2
+	// rounds: 3
+}
+
+// ExampleRunMIS_congest runs the Greedy algorithm under an enforced CONGEST
+// bandwidth budget — its constant-size notifications fit easily.
+func ExampleRunMIS_congest() {
+	g := repro.Ring(64)
+	res, err := repro.RunMIS(g, nil, repro.MISGreedy, repro.Options{CongestBits: 32})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("max message bits <= 32:", res.Run.MaxMsgBits <= 32)
+	// Output:
+	// max message bits <= 32: true
+}
+
+// ExampleRunMatching solves maximal matching reusing a perfect prediction.
+func ExampleRunMatching() {
+	g := repro.Line(8)
+	preds := repro.PerfectMatching(g)
+	res, err := repro.RunMatching(g, preds, repro.MatchingSimple, repro.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("rounds:", res.Run.Rounds)
+	// Output:
+	// rounds: 2
+}

@@ -1,0 +1,82 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestAllExperimentsSatisfyTheirBounds regenerates every experiment and
+// fails if any bound-check cell reports a violation ("NO"). This pins every
+// quantitative claim of the paper as a regression test.
+func TestAllExperimentsSatisfyTheirBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long; skipped with -short")
+	}
+	for _, e := range bench.Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run()
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s table %s has no rows", e.ID, tab.ID)
+				}
+				for _, row := range tab.Rows {
+					for ci, cell := range row {
+						if cell == "NO" {
+							t.Errorf("%s table %s: bound violated in column %q, row %v",
+								e.ID, tab.ID, tab.Columns[ci], row)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryAndFind(t *testing.T) {
+	reg := bench.Registry()
+	if len(reg) != 22 {
+		t.Errorf("registry has %d experiments, want 22", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if bench.Find(e.ID) == nil {
+			t.Errorf("Find(%s) = nil", e.ID)
+		}
+		if bench.Find(strings.ToLower(e.ID)) == nil {
+			t.Errorf("Find is not case-insensitive for %s", e.ID)
+		}
+	}
+	if bench.Find("E99") != nil {
+		t.Error("Find accepted unknown id")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &bench.Table{
+		ID:      "T",
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow(1, "x")
+	tab.AddRow("yy", 2.5)
+	tab.AddRow(true, false)
+	tab.Note("note %d", 7)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T: demo ==", "long-column", "yy", "2.50", "yes", "NO", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

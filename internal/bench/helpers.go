@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/predict"
+	"repro/internal/runtime"
+	"repro/internal/verify"
+)
+
+// The harness treats any engine or verification error as a programming bug
+// and panics with context; experiments are deterministic, so a panic here is
+// reproducible and caught by the benchmark tests.
+
+// mustRun executes a factory and returns the result.
+func mustRun(g *graph.Graph, factory runtime.Factory, preds []any) *runtime.Result {
+	res, err := runtime.Run(runtime.Config{Graph: g, Factory: factory, Predictions: preds})
+	if err != nil {
+		panic(fmt.Sprintf("bench: run failed: %v", err))
+	}
+	return res
+}
+
+// mustMIS runs an MIS factory and verifies the output.
+func mustMIS(g *graph.Graph, factory runtime.Factory, preds []int) *runtime.Result {
+	res := mustRun(g, factory, intPreds(preds))
+	out := intOutputs(g, res)
+	if err := verify.MIS(g, out); err != nil {
+		panic(fmt.Sprintf("bench: invalid MIS: %v", err))
+	}
+	return res
+}
+
+func intPreds(preds []int) []any {
+	if preds == nil {
+		return nil
+	}
+	out := make([]any, len(preds))
+	for i, p := range preds {
+		out[i] = p
+	}
+	return out
+}
+
+func intOutputs(g *graph.Graph, res *runtime.Result) []int {
+	out := make([]int, g.N())
+	for i, o := range res.Outputs {
+		v, ok := o.(int)
+		if !ok {
+			panic(fmt.Sprintf("bench: node %d output %T, want int", g.ID(i), o))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// misErrors computes (η₁, η₂) for an MIS instance; η₂ is -1 when a component
+// is too large for the exact solver.
+func misErrors(g *graph.Graph, preds []int) (eta1, eta2 int) {
+	active := predict.MISBaseActive(g, preds)
+	comps := predict.ErrorComponents(g, active)
+	eta1 = predict.Eta1(comps)
+	e2, err := predict.Eta2(comps)
+	if err != nil {
+		return eta1, -1
+	}
+	return eta1, e2
+}
+
+// perturbed returns a perturbed perfect MIS prediction with k flips.
+func perturbed(g *graph.Graph, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return predict.FlipBits(predict.PerfectMIS(g), k, rng)
+}
+
+// instance couples a named graph with its construction.
+type instance struct {
+	name string
+	g    *graph.Graph
+}
+
+// misInstances is the shared instance family for the MIS sweeps.
+func misInstances() []instance {
+	rng := rand.New(rand.NewSource(1))
+	return []instance{
+		{"ring-129", graph.Ring(129)},
+		{"grid-12x12", graph.Grid2D(12, 12)},
+		{"gnp-128-.04", graph.GNP(128, 0.04, rng)},
+		{"tree-127", graph.RandomTree(127, rng)},
+		{"hcube-7", graph.Hypercube(7)},
+	}
+}
+
+// boolCell renders a bound check.
+func boolCell(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

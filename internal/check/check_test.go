@@ -1,0 +1,189 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/graph"
+	"repro/internal/predict"
+	"repro/internal/runtime"
+	"repro/internal/verify"
+)
+
+// runChecker executes a checker and returns whether every node accepted,
+// also asserting the constant round bound.
+func runChecker(t *testing.T, g *graph.Graph, factory runtime.Factory, preds []any, maxRounds int) bool {
+	t.Helper()
+	res, err := runtime.Run(runtime.Config{Graph: g, Factory: factory, Predictions: preds})
+	if err != nil {
+		t.Fatalf("checker run: %v", err)
+	}
+	if res.Rounds > maxRounds {
+		t.Fatalf("checker took %d rounds, want <= %d", res.Rounds, maxRounds)
+	}
+	for _, o := range res.Outputs {
+		if o.(int) == check.Reject {
+			return false
+		}
+	}
+	return true
+}
+
+func intAny(v []int) []any {
+	out := make([]any, len(v))
+	for i, x := range v {
+		out[i] = x
+	}
+	return out
+}
+
+// TestQuickMISCheckerSoundAndComplete: the checker accepts everywhere iff
+// the predictions form a maximal independent set.
+func TestQuickMISCheckerSoundAndComplete(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%25) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.2, rng)
+		preds := predict.FlipProb(predict.PerfectMIS(g), 0.2, rng)
+		res, err := runtime.Run(runtime.Config{Graph: g, Factory: check.MIS(), Predictions: intAny(preds)})
+		if err != nil {
+			return false
+		}
+		allAccept := true
+		for _, o := range res.Outputs {
+			if o.(int) == check.Reject {
+				allAccept = false
+			}
+		}
+		valid := verify.MIS(g, preds) == nil
+		return allAccept == valid && res.Rounds <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMatchingChecker: accept everywhere iff a maximal matching.
+func TestQuickMatchingChecker(t *testing.T) {
+	f := func(seed int64, rawN uint8, k uint8) bool {
+		n := int(rawN%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.25, rng)
+		preds := predict.PerturbMatching(g, predict.PerfectMatching(g), int(k)%(n+1), rng)
+		res, err := runtime.Run(runtime.Config{Graph: g, Factory: check.Matching(), Predictions: intAny(preds)})
+		if err != nil {
+			return false
+		}
+		allAccept := true
+		for _, o := range res.Outputs {
+			if o.(int) == check.Reject {
+				allAccept = false
+			}
+		}
+		valid := verify.Matching(g, preds) == nil
+		return allAccept == valid && res.Rounds <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVColorChecker: accept everywhere iff a proper (Δ+1)-coloring.
+func TestQuickVColorChecker(t *testing.T) {
+	f := func(seed int64, rawN uint8, k uint8) bool {
+		n := int(rawN%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.25, rng)
+		preds := predict.PerturbVColor(g, predict.PerfectVColor(g), int(k)%(n+1), rng)
+		res, err := runtime.Run(runtime.Config{Graph: g, Factory: check.VColor(), Predictions: intAny(preds)})
+		if err != nil {
+			return false
+		}
+		allAccept := true
+		for _, o := range res.Outputs {
+			if o.(int) == check.Reject {
+				allAccept = false
+			}
+		}
+		valid := verify.VColor(g, preds) == nil
+		return allAccept == valid && res.Rounds <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEColorChecker: accept everywhere iff a proper (2Δ−1)-edge
+// coloring with agreeing endpoints.
+func TestQuickEColorChecker(t *testing.T) {
+	f := func(seed int64, rawN uint8, k uint8) bool {
+		n := int(rawN%16) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.3, rng)
+		preds := predict.PerturbEColor(g, predict.PerfectEColor(g), int(k)%(g.M()+1), rng)
+		anyPreds := make([]any, len(preds))
+		for i, p := range preds {
+			anyPreds[i] = []int(p)
+		}
+		res, err := runtime.Run(runtime.Config{Graph: g, Factory: check.EColor(), Predictions: anyPreds})
+		if err != nil {
+			return false
+		}
+		allAccept := true
+		for _, o := range res.Outputs {
+			if o.(int) == check.Reject {
+				allAccept = false
+			}
+		}
+		valid := ecolorValid(g, preds)
+		return allAccept == valid && res.Rounds <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ecolorValid reports whether per-node edge predictions form a proper
+// (2Δ−1)-edge coloring with agreeing endpoints.
+func ecolorValid(g *graph.Graph, preds []predict.EdgePrediction) bool {
+	outs := make([][]int, g.N())
+	for i, p := range preds {
+		outs[i] = p
+	}
+	colors, err := verify.NodeEdgeColorsAgree(g, outs)
+	if err != nil {
+		return false
+	}
+	if g.M() == 0 {
+		return true
+	}
+	return verify.EColor(g, colors) == nil
+}
+
+func TestCheckersOnKnownInstances(t *testing.T) {
+	g := graph.Ring(10)
+	if !runChecker(t, g, check.MIS(), intAny(predict.PerfectMIS(g)), 2) {
+		t.Error("perfect MIS rejected")
+	}
+	if runChecker(t, g, check.MIS(), intAny(predict.Uniform(10, 1)), 2) {
+		t.Error("all-ones accepted")
+	}
+	if runChecker(t, g, check.MIS(), intAny(predict.Uniform(10, 0)), 2) {
+		t.Error("all-zeros accepted")
+	}
+	if !runChecker(t, g, check.Matching(), intAny(predict.PerfectMatching(g)), 2) {
+		t.Error("perfect matching rejected")
+	}
+	if !runChecker(t, g, check.VColor(), intAny(predict.PerfectVColor(g)), 2) {
+		t.Error("perfect coloring rejected")
+	}
+	eAny := make([]any, g.N())
+	for i, p := range predict.PerfectEColor(g) {
+		eAny[i] = []int(p)
+	}
+	if !runChecker(t, g, check.EColor(), eAny, 2) {
+		t.Error("perfect edge coloring rejected")
+	}
+}

@@ -1,0 +1,137 @@
+// Package core implements the paper's framework for distributed graph
+// algorithms with predictions (Sections 4, 6, 7): algorithms are composed
+// from stages — a reasonable initialization algorithm, a measure-uniform
+// algorithm, a clean-up algorithm, and a reference algorithm — and the four
+// templates (Simple, Consecutive, Interleaved, Parallel) are generic
+// combinators over those stages.
+//
+// Stage machines are written exactly like ordinary per-node machines; the
+// combinators multiplex their messages onto the underlying network by tagging
+// each payload with the stage or lane it belongs to, so the composed
+// algorithms use their components as black boxes, as the paper prescribes.
+// A per-node shared memory (created once per node, visible to every stage of
+// that node) carries the knowledge the paper assumes persists across stages,
+// such as which neighbors have terminated with which outputs.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/runtime"
+)
+
+// StageMachine is the per-node behaviour of one algorithm stage. The
+// send/receive contract matches runtime.Machine; the StageCtx additionally
+// allows the machine to yield (finish the stage without a final output,
+// handing the node to the next stage).
+type StageMachine interface {
+	Send(c *StageCtx) []runtime.Out
+	Receive(c *StageCtx, inbox []runtime.Msg)
+}
+
+// StageFactory creates the stage machine for one node. mem is the node's
+// shared memory (see Compose); pred is the node's prediction.
+type StageFactory func(info runtime.NodeInfo, pred any, mem any) StageMachine
+
+// Stage is one stage of a composed algorithm.
+type Stage struct {
+	// Name identifies the stage in error messages and traces.
+	Name string
+	// Budget caps the stage at a fixed number of rounds; after the budget
+	// elapses every node still in the stage is forcibly yielded (the paper's
+	// "interrupted after a given number of rounds"). Budget 0 means the
+	// stage runs until every node outputs or yields.
+	Budget int
+	// New builds the per-node machine for this stage.
+	New StageFactory
+}
+
+// MemoryFactory creates the per-node shared memory visible to all stages of
+// that node. It may return nil when stages need no shared state.
+type MemoryFactory func(info runtime.NodeInfo, pred any) any
+
+// StageCtx is the environment a stage machine sees. It wraps the node's
+// runtime environment and adds stage-local control flow.
+type StageCtx struct {
+	env        *runtime.Env
+	mem        any
+	stageRound int
+	yielded    bool
+}
+
+// Info returns the node's static information.
+func (c *StageCtx) Info() runtime.NodeInfo { return c.env.Info() }
+
+// ID returns the node's identifier.
+func (c *StageCtx) ID() int { return c.env.ID() }
+
+// Round returns the global round number (1-based).
+func (c *StageCtx) Round() int { return c.env.Round() }
+
+// StageRound returns the number of rounds this stage has been stepped on
+// this node, counting the current round (1-based).
+func (c *StageCtx) StageRound() int { return c.stageRound }
+
+// Memory returns the node's shared memory.
+func (c *StageCtx) Memory() any { return c.mem }
+
+// Output assigns the node's final output and terminates it; later stages
+// never run on this node.
+func (c *StageCtx) Output(v any) {
+	c.env.Output(v)
+	c.env.Terminate()
+}
+
+// PartialOutput records an output value without terminating the node. Used
+// by problems whose nodes emit outputs over several rounds (edge coloring);
+// the final call to Output fixes the complete value.
+func (c *StageCtx) PartialOutput(v any) {
+	c.env.Output(v)
+}
+
+// Yield finishes this stage for the node without a final output; the next
+// stage takes over starting next round.
+func (c *StageCtx) Yield() { c.yielded = true }
+
+// Fail records a protocol error that aborts the run.
+func (c *StageCtx) Fail(err error) { c.env.Fail(err) }
+
+// taggedMsg wraps a stage payload with the lane and stage it belongs to.
+type taggedMsg struct {
+	lane    uint8
+	stage   uint16
+	payload any
+}
+
+// Bits implements runtime.BitSized when the payload does, adding a small
+// fixed header for the tags.
+func (m taggedMsg) Bits() int {
+	const header = 8
+	if bs, ok := m.payload.(runtime.BitSized); ok {
+		return header + bs.Bits()
+	}
+	return -1 // forces LOCAL accounting upstream
+}
+
+func wrapOuts(outs []runtime.Out, lane uint8, stage uint16) []runtime.Out {
+	for i := range outs {
+		outs[i].Payload = taggedMsg{lane: lane, stage: stage, payload: outs[i].Payload}
+	}
+	return outs
+}
+
+func unwrapInbox(inbox []runtime.Msg, lane uint8, stage uint16) ([]runtime.Msg, error) {
+	out := make([]runtime.Msg, 0, len(inbox))
+	for _, m := range inbox {
+		tm, ok := m.Payload.(taggedMsg)
+		if !ok {
+			return nil, fmt.Errorf("core: untagged message from node %d", m.From)
+		}
+		if tm.lane != lane || tm.stage != stage {
+			return nil, fmt.Errorf("core: lockstep violation: message from node %d on lane %d stage %d, expected lane %d stage %d",
+				m.From, tm.lane, tm.stage, lane, stage)
+		}
+		out = append(out, runtime.Msg{From: m.From, Payload: tm.payload})
+	}
+	return out, nil
+}

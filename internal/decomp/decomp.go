@@ -1,0 +1,101 @@
+// Package decomp implements a deterministic low-diameter clustering MIS
+// reference in the style the paper's Interleaved Template expects from its
+// Ghaffari et al. reference (Corollary 10): the algorithm proceeds in phases
+// of a fixed, node-computable length; each phase carves the remaining graph
+// into low-diameter clusters (an MPX-style shifted BFS driven by a seeded
+// hash of node identifiers — the documented substitution for the
+// derandomized decomposition of [31]), lets an independent set of clusters
+// win, solves MIS exactly inside each winning cluster by gathering it at its
+// center, and outputs with a built-in clean-up so the partial solution at
+// every phase boundary is extendable.
+//
+// At least one cluster in every remaining component wins each phase (the
+// component's maximum-priority cluster), so the algorithm always terminates;
+// empirically the active node count shrinks geometrically, matching the
+// halving structure of the paper's reference.
+package decomp
+
+import (
+	"math"
+
+	"repro/internal/runtime"
+)
+
+// hash64 is splitmix64 over the concatenation of its arguments; it drives
+// the per-phase delays and cluster priorities deterministically.
+func hash64(seed int64, phase, id int) uint64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(phase)*0xBF58476D1CE4E5B9 + uint64(id)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// delay returns the node's MPX-style start delay for a phase: an
+// exponential-like value ⌊−4·ln(x)⌋ truncated to [0, limit).
+func delay(seed int64, phase, id, limit int) int {
+	x := (float64(hash64(seed, phase, id)) + 1) / (1 << 63) / 2
+	d := int(math.Floor(-4 * math.Log(x)))
+	if d < 0 {
+		d = 0
+	}
+	if d >= limit {
+		d = limit - 1
+	}
+	return d
+}
+
+// priority returns the cluster priority of a center for a phase; adjacent
+// clusters compare priorities (ties broken by center ID) to decide winners.
+func priority(seed int64, phase, centerID int) uint64 {
+	return hash64(seed^0x5851F42D4C957F2D, phase, centerID)
+}
+
+// DelayLimit returns L, the delay range and BFS depth bound for an n-node
+// graph: about 4·ln(n+3)+4, rounded up to an even value so that PhaseRounds
+// is even — the Greedy MIS lane interleaved with this reference leaves an
+// extendable partial solution only at even-round boundaries.
+func DelayLimit(n int) int {
+	l := int(math.Ceil(4*math.Log(float64(n+3)))) + 4
+	if l%2 == 1 {
+		l++
+	}
+	return l
+}
+
+// PhaseRounds returns the fixed length of one phase for an n-node graph:
+// carving (L+2 rounds: L+1 shifted-BFS rounds plus a center exchange),
+// convergecast (L+2), decision broadcast (L+2), and two output rounds.
+func PhaseRounds(n int) int {
+	l := DelayLimit(n)
+	return 3*(l+2) + 2
+}
+
+// Phases returns the declared number of phases for the reference's round
+// bound: ⌈log₂ n⌉ + 3, matching the empirical geometric decay of the active
+// set (the paper's reference halves the active set per phase by
+// construction; ours does so empirically — see DESIGN.md).
+func Phases(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n)))) + 3
+}
+
+// Bound returns the declared round bound r(n) = Phases(n) · PhaseRounds(n),
+// computable by every node, as the Consecutive Template requires.
+func Bound(info runtime.NodeInfo) int {
+	return Phases(info.N) * PhaseRounds(info.N)
+}
+
+// Schedule returns the Interleaved Template phase budgets: Phases(n) slices
+// of PhaseRounds(n) rounds each.
+func Schedule(info runtime.NodeInfo) []int {
+	sched := make([]int, Phases(info.N))
+	for i := range sched {
+		sched[i] = PhaseRounds(info.N)
+	}
+	return sched
+}

@@ -1,0 +1,154 @@
+package ecolor
+
+import (
+	"repro/internal/core"
+	"repro/internal/linegraph"
+	"repro/internal/runtime"
+)
+
+// This file assembles the Parallel Template for (2Δ−1)-edge coloring:
+//
+//   part 1 — the fault-tolerant line-graph Linial coloring
+//   (internal/linegraph) computes tentative colors for the edges that are
+//   still uncolored, while the distance-2 measure-uniform algorithm colors
+//   edges for real on the side (an edge leaving the computation looks like a
+//   crash to part 1, which tolerates it);
+//
+//   part 2 — one repair round per color class reconciles the tentative
+//   colors with everything output in the meantime, symmetrically at both
+//   endpoints, and a final round outputs. No terminations occur during part
+//   2, so the repaired colors stay correct.
+
+// edgeFix is the part 2 per-edge message: the sender's used (final) colors
+// and the tentative colors of its other repairing edges.
+type edgeFix struct {
+	Used   []int
+	Others []int
+}
+
+// ColorToEdges returns part 2 of the edge-coloring reference.
+func ColorToEdges() core.StageFactory {
+	return func(info runtime.NodeInfo, pred any, mem any) core.StageMachine {
+		return &colorToEdgesMachine{mem: mem.(*Memory)}
+	}
+}
+
+type colorToEdgesMachine struct {
+	mem  *Memory
+	sent map[int][]int
+}
+
+// tentative returns the still-uncolored edges and their tentative classes.
+func (m *colorToEdgesMachine) tentative(info runtime.NodeInfo) map[int]int {
+	out := make(map[int]int)
+	for _, nb := range m.mem.Uncolored(info) {
+		if col, ok := m.mem.R1Colors[nb]; ok {
+			out[nb] = col
+		}
+	}
+	return out
+}
+
+func (m *colorToEdgesMachine) Send(c *core.StageCtx) []runtime.Out {
+	info := c.Info()
+	palette := 2*info.Delta - 1
+	tent := m.tentative(info)
+	if c.StageRound() > palette || len(tent) == 0 {
+		// All classes repaired (or nothing left to color): fix and output.
+		for nb, col := range tent {
+			m.mem.SetColor(info, nb, col)
+		}
+		c.Output(m.mem.OutputVector(info))
+		return nil
+	}
+	m.sent = make(map[int][]int, len(tent))
+	used := m.mem.UsedColors()
+	outs := make([]runtime.Out, 0, len(tent))
+	for nb := range tent {
+		others := make([]int, 0, len(tent)-1)
+		for other, col := range tent {
+			if other != nb {
+				others = append(others, col)
+			}
+		}
+		m.sent[nb] = others
+		outs = append(outs, runtime.Out{To: nb, Payload: edgeFix{Used: used, Others: others}})
+	}
+	return outs
+}
+
+func (m *colorToEdgesMachine) Receive(c *core.StageCtx, inbox []runtime.Msg) {
+	info := c.Info()
+	palette := 2*info.Delta - 1
+	class := c.StageRound() // repair class 1..palette
+	myUsed := m.mem.UsedColors()
+	for _, msg := range inbox {
+		ef, ok := msg.Payload.(edgeFix)
+		if !ok {
+			continue
+		}
+		nb := msg.From
+		col, ok := m.mem.R1Colors[nb]
+		if !ok || col != class {
+			continue
+		}
+		// Both endpoints see the same constraint set: final colors used at
+		// either endpoint plus the tentative colors of both endpoints' other
+		// repairing edges.
+		conflict := false
+		taken := make([]bool, palette+1)
+		mark := func(cols []int) {
+			for _, x := range cols {
+				if x >= 1 && x <= palette {
+					taken[x] = true
+				}
+			}
+		}
+		mark(myUsed)
+		mark(ef.Used)
+		for _, x := range myUsed {
+			if x == col {
+				conflict = true
+			}
+		}
+		for _, x := range ef.Used {
+			if x == col {
+				conflict = true
+			}
+		}
+		if !conflict {
+			continue
+		}
+		mark(m.sent[nb])
+		mark(ef.Others)
+		for v := 1; v <= palette; v++ {
+			if !taken[v] {
+				m.mem.R1Colors[nb] = v
+				break
+			}
+		}
+	}
+}
+
+// ParallelColoring is the Parallel Template for (2Δ−1)-edge coloring: base,
+// the distance-2 measure-uniform algorithm in parallel with the tentative
+// line-graph coloring (budget rounded to even so the interruption point is
+// extendable), the one-round clean-up, then the repair-and-output part.
+func ParallelColoring() runtime.Factory {
+	cleanup := Cleanup()
+	return core.Parallel(core.ParallelSpec{
+		Mem: NewMemory,
+		B:   Base(),
+		U:   MeasureUniform(0).New,
+		R1:  linegraph.Part1(),
+		R1Budget: func(info runtime.NodeInfo) int {
+			b := linegraph.Rounds(info.D, info.Delta)
+			if b%2 == 1 {
+				b++
+			}
+			return b
+		},
+		C:  &cleanup,
+		R2: ColorToEdges(),
+	})
+}

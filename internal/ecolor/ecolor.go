@@ -1,0 +1,279 @@
+// Package ecolor implements the (2Δ−1)-Edge Coloring problem with
+// predictions (paper Section 8.3): the two-round base algorithm, the
+// one-round clean-up, the distance-2 measure-uniform algorithm, and a
+// collect-and-solve reference. A node's output is the vector of colors of
+// its incident edges, in sorted-neighbor order; both endpoints must output
+// the same color for their shared edge.
+package ecolor
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// Memory is the per-node shared state across stages: agreed edge colors,
+// per-edge palette removals, and the two-hop uncolored-edge information the
+// measure-uniform algorithm needs (maintained as Section 8.3 prescribes).
+type Memory struct {
+	// Pred holds the predicted colors by sorted-neighbor order.
+	Pred []int
+	// EdgeColor maps neighbor ID to the agreed color of the shared edge
+	// (0 while uncolored).
+	EdgeColor map[int]int
+	// Removed maps neighbor ID to the set of colors struck from the shared
+	// edge's palette by the *other* endpoint's announcements.
+	Removed map[int]map[int]bool
+	// NbrUncolored maps neighbor ID to the other endpoints of its uncolored
+	// edges — the two-hop information.
+	NbrUncolored map[int][]int
+	// R1Colors holds the tentative colors (1-based, keyed by neighbor ID)
+	// stored by the fault-tolerant line-graph coloring when it serves as
+	// part 1 of the Parallel Template reference.
+	R1Colors map[int]int
+}
+
+// LiveEdges implements linegraph.Host: the still-uncolored edges participate
+// in the reference's tentative coloring.
+func (m *Memory) LiveEdges(info runtime.NodeInfo) []int {
+	return m.Uncolored(info)
+}
+
+// StoreEdgeColors implements linegraph.Host.
+func (m *Memory) StoreEdgeColors(colors map[int]int) { m.R1Colors = colors }
+
+// NewMemory is the MemoryFactory for edge-coloring compositions.
+func NewMemory(info runtime.NodeInfo, pred any) any {
+	m := &Memory{
+		EdgeColor:    make(map[int]int, len(info.NeighborIDs)),
+		Removed:      make(map[int]map[int]bool, len(info.NeighborIDs)),
+		NbrUncolored: make(map[int][]int, len(info.NeighborIDs)),
+	}
+	if p, ok := pred.([]int); ok {
+		m.Pred = p
+	} else {
+		m.Pred = make([]int, len(info.NeighborIDs))
+	}
+	for _, nb := range info.NeighborIDs {
+		m.Removed[nb] = make(map[int]bool)
+	}
+	return m
+}
+
+// Uncolored returns the neighbor IDs of this node's uncolored edges.
+func (m *Memory) Uncolored(info runtime.NodeInfo) []int {
+	out := make([]int, 0, len(info.NeighborIDs))
+	for _, nb := range info.NeighborIDs {
+		if m.EdgeColor[nb] == 0 {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// UsedColors returns the colors of this node's colored edges, sorted.
+func (m *Memory) UsedColors() []int {
+	out := make([]int, 0, len(m.EdgeColor))
+	for _, c := range m.EdgeColor {
+		if c != 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SetColor fixes the color of the edge to nb and removes it from the
+// palettes of this node's other uncolored edges.
+func (m *Memory) SetColor(info runtime.NodeInfo, nb, color int) {
+	m.EdgeColor[nb] = color
+}
+
+// PaletteFree reports whether color is available for the edge to nb: inside
+// {1, ..., 2Δ−1}, not used at this node, and not struck by the other
+// endpoint.
+func (m *Memory) PaletteFree(info runtime.NodeInfo, nb, color int) bool {
+	if color < 1 || color > 2*info.Delta-1 {
+		return false
+	}
+	if m.Removed[nb][color] {
+		return false
+	}
+	for _, c := range m.EdgeColor {
+		if c == color {
+			return false
+		}
+	}
+	return true
+}
+
+// SmallestFree returns the least palette color for the edge to nb also
+// avoiding the extra set (same-round picks at this node).
+func (m *Memory) SmallestFree(info runtime.NodeInfo, nb int, extra map[int]bool) int {
+	for c := 1; c <= 2*info.Delta-1; c++ {
+		if extra[c] {
+			continue
+		}
+		if m.PaletteFree(info, nb, c) {
+			return c
+		}
+	}
+	return 0
+}
+
+// OutputVector builds the final per-edge output in sorted-neighbor order.
+func (m *Memory) OutputVector(info runtime.NodeInfo) []int {
+	out := make([]int, len(info.NeighborIDs))
+	for i, nb := range info.NeighborIDs {
+		out[i] = m.EdgeColor[nb]
+	}
+	return out
+}
+
+// offer proposes the sender's predicted color for the shared edge.
+type offer struct{ C int }
+
+// Bits sizes the message for CONGEST accounting.
+func (offer) Bits() int { return 16 }
+
+// update carries palette removals and uncolored-edge bookkeeping: the colors
+// now used at the sender, and the other endpoints of the sender's still
+// uncolored edges.
+type update struct {
+	Used      []int
+	Uncolored []int
+}
+
+// assign fixes the shared edge's color (sent by a measure-uniform winner).
+type assign struct{ C int }
+
+// Bits sizes the message for CONGEST accounting.
+func (assign) Bits() int { return 16 }
+
+// applyUpdate folds an update from nb into memory.
+func (m *Memory) applyUpdate(nb int, u update) {
+	for _, c := range u.Used {
+		m.Removed[nb][c] = true
+	}
+	m.NbrUncolored[nb] = u.Uncolored
+}
+
+// updateFor builds the update message for this node's current state,
+// omitting the receiver from the uncolored list.
+func (m *Memory) updateFor(info runtime.NodeInfo, to int) update {
+	unc := make([]int, 0, len(info.NeighborIDs))
+	for _, nb := range m.Uncolored(info) {
+		if nb != to {
+			unc = append(unc, nb)
+		}
+	}
+	return update{Used: m.UsedColors(), Uncolored: unc}
+}
+
+// broadcastUpdates sends the current update to every uncolored neighbor.
+func (m *Memory) broadcastUpdates(info runtime.NodeInfo) []runtime.Out {
+	unc := m.Uncolored(info)
+	outs := make([]runtime.Out, 0, len(unc))
+	for _, nb := range unc {
+		outs = append(outs, runtime.Out{To: nb, Payload: m.updateFor(info, nb)})
+	}
+	return outs
+}
+
+// Base returns the (2Δ−1)-Edge Coloring Base Algorithm (Section 8.3): nodes
+// offer their predicted colors (where unique among their own predictions);
+// matching offers color the edge; fully colored nodes terminate after round
+// 1; round 2 distributes used colors and the two-hop uncolored-edge lists.
+func Base() core.Stage {
+	return core.Stage{
+		Name:   "ecolor/base",
+		Budget: 2,
+		New: func(info runtime.NodeInfo, pred any, mem any) core.StageMachine {
+			return &baseMachine{mem: mem.(*Memory)}
+		},
+	}
+}
+
+type baseMachine struct {
+	mem  *Memory
+	sent map[int]int // nb -> offered color
+}
+
+func (m *baseMachine) Send(c *core.StageCtx) []runtime.Out {
+	info := c.Info()
+	switch c.StageRound() {
+	case 1:
+		counts := make(map[int]int, len(m.mem.Pred))
+		for _, col := range m.mem.Pred {
+			counts[col]++
+		}
+		m.sent = make(map[int]int, len(info.NeighborIDs))
+		outs := make([]runtime.Out, 0, len(info.NeighborIDs))
+		for j, nb := range info.NeighborIDs {
+			col := m.mem.Pred[j]
+			if col < 1 || col > 2*info.Delta-1 || counts[col] > 1 {
+				continue
+			}
+			m.sent[nb] = col
+			outs = append(outs, runtime.Out{To: nb, Payload: offer{C: col}})
+		}
+		return outs
+	default:
+		return m.mem.broadcastUpdates(info)
+	}
+}
+
+func (m *baseMachine) Receive(c *core.StageCtx, inbox []runtime.Msg) {
+	info := c.Info()
+	switch c.StageRound() {
+	case 1:
+		for _, msg := range inbox {
+			of, ok := msg.Payload.(offer)
+			if !ok {
+				continue
+			}
+			if m.sent[msg.From] == of.C {
+				m.mem.SetColor(info, msg.From, of.C)
+			}
+		}
+		if len(m.mem.Uncolored(info)) == 0 {
+			c.Output(m.mem.OutputVector(info))
+		}
+	default:
+		for _, msg := range inbox {
+			if u, ok := msg.Payload.(update); ok {
+				m.mem.applyUpdate(msg.From, u)
+			}
+		}
+		c.Yield()
+	}
+}
+
+// Cleanup returns the edge-coloring clean-up (Section 8.3): one round in
+// which every active node sends its used colors (and refreshed two-hop
+// lists) along its uncolored edges.
+func Cleanup() core.Stage {
+	return core.Stage{
+		Name:   "ecolor/cleanup",
+		Budget: 1,
+		New: func(info runtime.NodeInfo, pred any, mem any) core.StageMachine {
+			return &cleanupMachine{mem: mem.(*Memory)}
+		},
+	}
+}
+
+type cleanupMachine struct{ mem *Memory }
+
+func (m *cleanupMachine) Send(c *core.StageCtx) []runtime.Out {
+	return m.mem.broadcastUpdates(c.Info())
+}
+
+func (m *cleanupMachine) Receive(c *core.StageCtx, inbox []runtime.Msg) {
+	for _, msg := range inbox {
+		if u, ok := msg.Payload.(update); ok {
+			m.mem.applyUpdate(msg.From, u)
+		}
+	}
+	c.Yield()
+}

@@ -1,0 +1,126 @@
+package ecolor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecolor"
+	"repro/internal/graph"
+	"repro/internal/predict"
+	"repro/internal/runtime"
+	"repro/internal/verify"
+)
+
+func runEColor(t *testing.T, g *graph.Graph, factory runtime.Factory, preds []predict.EdgePrediction) *runtime.Result {
+	t.Helper()
+	var anyPreds []any
+	if preds != nil {
+		anyPreds = make([]any, len(preds))
+		for i, p := range preds {
+			anyPreds[i] = []int(p)
+		}
+	}
+	res, err := runtime.Run(runtime.Config{Graph: g, Factory: factory, Predictions: anyPreds})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	outs := make([][]int, g.N())
+	for i, o := range res.Outputs {
+		v, ok := o.([]int)
+		if !ok {
+			t.Fatalf("node %d output %v (%T)", g.ID(i), o, o)
+		}
+		outs[i] = v
+	}
+	colors, err := verify.NodeEdgeColorsAgree(g, outs)
+	if err != nil {
+		t.Fatalf("endpoint disagreement: %v", err)
+	}
+	if g.M() > 0 {
+		if err := verify.EColor(g, colors); err != nil {
+			t.Fatalf("invalid edge coloring: %v", err)
+		}
+	}
+	return res
+}
+
+func testGraphs() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(17))
+	return map[string]*graph.Graph{
+		"pair":    graph.Line(2),
+		"line14":  graph.Line(14),
+		"ring15":  graph.Ring(15),
+		"star8":   graph.Star(8),
+		"clique7": graph.Clique(7),
+		"grid5x5": graph.Grid2D(5, 5),
+		"gnp30":   graph.GNP(30, 0.15, rng),
+		"tree22":  graph.RandomTree(22, rng),
+		"paths":   graph.DisjointPaths(3, 6),
+		// Shuffled identifiers catch any index-order vs identifier-order
+		// confusion in per-edge vectors (a real bug found by the matrix
+		// test).
+		"shuffled": graph.ShuffleIDs(graph.Grid2D(4, 5), 200, rng),
+	}
+}
+
+func TestMeasureUniformSolo(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			res := runEColor(t, g, ecolor.Solo(ecolor.MeasureUniform(0)), nil)
+			if limit := 2*g.N() - 3 + 2; res.Rounds > limit {
+				t.Errorf("rounds %d > 2s-1 = %d", res.Rounds, limit)
+			}
+		})
+	}
+}
+
+func TestBaseConsistency(t *testing.T) {
+	for name, g := range testGraphs() {
+		preds := predict.PerfectEColor(g)
+		t.Run(name, func(t *testing.T) {
+			res := runEColor(t, g, ecolor.SimpleGreedy(), preds)
+			if res.Rounds > 1 {
+				t.Errorf("consistency: got %d rounds, want 1 (correct predictions)", res.Rounds)
+			}
+		})
+	}
+}
+
+func TestEColorTemplatesAcrossErrors(t *testing.T) {
+	factories := map[string]runtime.Factory{
+		"simple-greedy":    ecolor.SimpleGreedy(),
+		"simple-collect":   ecolor.SimpleCollect(),
+		"consecutive-coll": ecolor.ConsecutiveCollect(),
+	}
+	rng := rand.New(rand.NewSource(23))
+	for gname, g := range testGraphs() {
+		for _, k := range []int{0, 1, 3, g.M()} {
+			preds := predict.PerturbEColor(g, predict.PerfectEColor(g), k, rng)
+			for fname, f := range factories {
+				t.Run(gname+"/"+fname, func(t *testing.T) {
+					runEColor(t, g, f, preds)
+				})
+			}
+		}
+	}
+}
+
+func TestEColorDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for gname, g := range testGraphs() {
+		for _, k := range []int{0, 1, 2} {
+			preds := predict.PerturbEColor(g, predict.PerfectEColor(g), k, rng)
+			uncolored := predict.EColorBaseUncolored(g, preds)
+			comps := predict.EdgeErrorComponents(g, uncolored)
+			eta1 := predict.Eta1(comps)
+			res := runEColor(t, g, ecolor.SimpleGreedy(), preds)
+			limit := 2*eta1 + 2 // 2s-3 measure-uniform + 2 base + slack
+			if eta1 == 0 {
+				limit = 2
+			}
+			if res.Rounds > limit {
+				t.Errorf("%s k=%d: rounds %d > %d (eta1=%d)", gname, k, res.Rounds, limit, eta1)
+			}
+		}
+	}
+}

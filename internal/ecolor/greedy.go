@@ -1,0 +1,107 @@
+package ecolor
+
+import (
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// MeasureUniform returns the distance-2 measure-uniform edge-coloring
+// algorithm of Section 8.3, in 2-round groups: in each odd round, every
+// active node whose identifier exceeds those of all nodes reachable by at
+// most two uncolored edges colors all its uncolored edges from their
+// palettes, informs the other endpoints, outputs, and terminates; in the
+// following even round, the recipients propagate the palette removals and
+// updated uncolored-edge lists to their other neighbors. At least one node
+// terminates per odd round, so the round complexity on a component with
+// s ≥ 2 nodes is at most 2s−3; the code consults no graph parameter.
+// Budgets should be even (group boundaries carry extendable partials).
+func MeasureUniform(budget int) core.Stage {
+	return core.Stage{
+		Name:   "ecolor/greedy",
+		Budget: budget,
+		New: func(info runtime.NodeInfo, pred any, mem any) core.StageMachine {
+			return &greedyMachine{mem: mem.(*Memory)}
+		},
+	}
+}
+
+type greedyMachine struct {
+	mem     *Memory
+	changed bool // received assignments last odd round; must update
+}
+
+// wins reports whether this node beats every identifier within two
+// uncolored hops.
+func (m *greedyMachine) wins(info runtime.NodeInfo) bool {
+	for _, nb := range m.mem.Uncolored(info) {
+		if nb > info.ID {
+			return false
+		}
+		for _, far := range m.mem.NbrUncolored[nb] {
+			if far != info.ID && far > info.ID {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *greedyMachine) Send(c *core.StageCtx) []runtime.Out {
+	info := c.Info()
+	if c.StageRound()%2 == 1 {
+		m.changed = false
+		unc := m.mem.Uncolored(info)
+		if len(unc) == 0 {
+			// Entering the stage with everything colored (possible when a
+			// prior stage was interrupted right after our last edge was
+			// assigned); just finish.
+			c.Output(m.mem.OutputVector(info))
+			return nil
+		}
+		if !m.wins(info) {
+			return nil
+		}
+		picks := make(map[int]bool, len(unc))
+		outs := make([]runtime.Out, 0, len(unc))
+		for _, nb := range unc {
+			col := m.mem.SmallestFree(info, nb, picks)
+			picks[col] = true
+			m.mem.SetColor(info, nb, col)
+			outs = append(outs, runtime.Out{To: nb, Payload: assign{C: col}})
+		}
+		c.Output(m.mem.OutputVector(info))
+		return outs
+	}
+	if m.changed {
+		return m.mem.broadcastUpdates(info)
+	}
+	return nil
+}
+
+func (m *greedyMachine) Receive(c *core.StageCtx, inbox []runtime.Msg) {
+	info := c.Info()
+	if c.StageRound()%2 == 1 {
+		for _, msg := range inbox {
+			if a, ok := msg.Payload.(assign); ok {
+				m.mem.SetColor(info, msg.From, a.C)
+				m.changed = true
+			}
+		}
+		if m.changed {
+			if len(m.mem.Uncolored(info)) == 0 {
+				c.Output(m.mem.OutputVector(info))
+			} else {
+				// Per the model (Section 8.3) a node outputs edge colors as
+				// they are fixed, terminating only once all are; expose the
+				// partial vector without terminating.
+				c.PartialOutput(m.mem.OutputVector(info))
+			}
+		}
+		return
+	}
+	for _, msg := range inbox {
+		if u, ok := msg.Payload.(update); ok {
+			m.mem.applyUpdate(msg.From, u)
+		}
+	}
+}

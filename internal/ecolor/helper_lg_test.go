@@ -1,0 +1,15 @@
+package ecolor_test
+
+import (
+	"repro/internal/graph"
+	"repro/internal/linegraph"
+)
+
+// linegraphRounds mirrors the R1 budget used by the Parallel template.
+func linegraphRounds(g *graph.Graph) int {
+	b := linegraph.Rounds(g.D(), g.MaxDegree())
+	if b%2 == 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+// Package linegraph implements a fault-tolerant distributed (2Δ−1)-edge
+// coloring by running the Linial reduction on the line graph: each edge's
+// color is maintained symmetrically by both endpoints, which exchange the
+// colors of their other live edges every round and apply the same
+// deterministic reduction to the same inputs, so the two copies never
+// diverge. An endpoint that terminates or crashes simply removes its edges
+// from the computation.
+//
+// The stage serves as the fault-tolerant first part of Parallel-Template
+// references for edge-output problems: maximal matching (match one color
+// class at a time) and (2Δ−1)-edge coloring itself (repair the tentative
+// colors against already-output ones, then output).
+package linegraph
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/vcolor"
+)
+
+// Host adapts the stage to a problem's shared memory: which incident edges
+// still need a color this round, and where to store the result.
+type Host interface {
+	// LiveEdges returns the neighbor IDs across the edges that still
+	// participate in the coloring (sorted ascending; may shrink between
+	// rounds as endpoints terminate or edges get final colors elsewhere).
+	LiveEdges(info runtime.NodeInfo) []int
+	// StoreEdgeColors receives the final colors (1-based classes, keyed by
+	// neighbor ID) when the stage completes.
+	StoreEdgeColors(colors map[int]int)
+}
+
+// Rounds returns the stage's round bound: the Linial bound on the line
+// graph, whose palette starts at d² (an edge's initial color encodes its
+// endpoints) and whose maximum degree is 2Δ−2.
+func Rounds(d, delta int) int {
+	if delta == 0 {
+		return 1
+	}
+	return vcolor.Rounds(d*d, 2*delta-2)
+}
+
+// sync is the per-edge message: the sender's view of the shared edge's
+// color and the colors of the sender's other live edges.
+type sync struct {
+	Color  int
+	Others []int
+}
+
+// Bits sizes the message: O(Δ·log d²) bits.
+func (m sync) Bits() int {
+	return bits.Len(uint(m.Color)) + 1 + 18*len(m.Others)
+}
+
+// Part1 returns the stage factory; the shared memory must implement Host.
+func Part1() core.StageFactory {
+	return func(info runtime.NodeInfo, pred any, mem any) core.StageMachine {
+		host, ok := mem.(Host)
+		if !ok {
+			return &failMachine{}
+		}
+		var steps []vcolor.ReductionStep
+		kStar := 1
+		if info.Delta > 0 {
+			steps, kStar = vcolor.Schedule(info.D*info.D, 2*info.Delta-2)
+		}
+		m := &machine{
+			host:   host,
+			steps:  steps,
+			kStar:  kStar,
+			total:  Rounds(info.D, info.Delta),
+			colors: make(map[int]int, len(info.NeighborIDs)),
+			sent:   make(map[int][]int, len(info.NeighborIDs)),
+		}
+		for _, nb := range info.NeighborIDs {
+			lo, hi := info.ID, nb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			m.colors[nb] = (lo-1)*info.D + (hi - 1) // distinct 0-based seeds
+		}
+		return m
+	}
+}
+
+type failMachine struct{}
+
+func (failMachine) Send(c *core.StageCtx) []runtime.Out {
+	c.Fail(errNoHost)
+	return nil
+}
+func (failMachine) Receive(c *core.StageCtx, inbox []runtime.Msg) {}
+
+type hostError string
+
+func (e hostError) Error() string { return string(e) }
+
+const errNoHost = hostError("linegraph: shared memory does not implement Host")
+
+type machine struct {
+	host   Host
+	steps  []vcolor.ReductionStep
+	kStar  int
+	total  int
+	colors map[int]int
+	sent   map[int][]int
+}
+
+func (m *machine) Send(c *core.StageCtx) []runtime.Out {
+	info := c.Info()
+	live := m.host.LiveEdges(info)
+	outs := make([]runtime.Out, 0, len(live))
+	for _, nb := range live {
+		others := make([]int, 0, len(live)-1)
+		for _, other := range live {
+			if other != nb {
+				others = append(others, m.colors[other])
+			}
+		}
+		sort.Ints(others)
+		m.sent[nb] = others
+		outs = append(outs, runtime.Out{To: nb, Payload: sync{Color: m.colors[nb], Others: others}})
+	}
+	return outs
+}
+
+func (m *machine) Receive(c *core.StageCtx, inbox []runtime.Msg) {
+	info := c.Info()
+	delta2 := 2*info.Delta - 2
+	r := c.StageRound()
+	for _, msg := range inbox {
+		es, ok := msg.Payload.(sync)
+		if !ok {
+			continue
+		}
+		nb := msg.From
+		adjacent := append(append([]int(nil), m.sent[nb]...), es.Others...)
+		switch {
+		case r <= len(m.steps):
+			m.colors[nb] = vcolor.ApplyReduction(m.steps[r-1], m.colors[nb], adjacent)
+		default:
+			target := m.kStar - (r - len(m.steps))
+			if m.colors[nb] == target && target > delta2 {
+				m.colors[nb] = vcolor.SmallestFreeColor(adjacent, delta2+1)
+			}
+		}
+	}
+	if r >= m.total {
+		final := make(map[int]int, len(m.colors))
+		for nb, col := range m.colors {
+			final[nb] = col + 1
+		}
+		m.host.StoreEdgeColors(final)
+		c.Yield()
+	}
+}

@@ -1,0 +1,138 @@
+package matching
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// Collect returns the collect-and-solve reference for maximal matching:
+// n rounds of adjacency flooding, then every node outputs its partner in the
+// canonical greedy-by-identifier maximal matching of its component. The
+// round bound CollectBound(info) = n+1 is computable by all nodes, as the
+// Consecutive Template requires.
+func Collect() core.Stage {
+	return core.Stage{
+		Name: "matching/collect",
+		New: func(info runtime.NodeInfo, pred any, mem any) core.StageMachine {
+			return &collectMachine{mem: mem.(*Memory), rows: map[int][]int{}}
+		},
+	}
+}
+
+// CollectBound is the round bound of Collect.
+func CollectBound(info runtime.NodeInfo) int { return info.N + 1 }
+
+// row carries newly learned adjacency rows (LOCAL-size).
+type row struct {
+	Entries map[int][]int
+}
+
+type collectMachine struct {
+	mem   *Memory
+	rows  map[int][]int
+	fresh []int
+}
+
+func (m *collectMachine) Send(c *core.StageCtx) []runtime.Out {
+	info := c.Info()
+	if c.StageRound() == 1 {
+		mine := m.mem.ActiveNeighbors(info)
+		m.rows[info.ID] = mine
+		m.fresh = []int{info.ID}
+	}
+	if c.StageRound() > info.N {
+		m.solveAndOutput(c)
+		return nil
+	}
+	if len(m.fresh) == 0 {
+		return nil
+	}
+	entries := make(map[int][]int, len(m.fresh))
+	for _, id := range m.fresh {
+		entries[id] = m.rows[id]
+	}
+	m.fresh = nil
+	return runtime.BroadcastTo(m.mem.ActiveNeighbors(info), row{Entries: entries})
+}
+
+func (m *collectMachine) Receive(c *core.StageCtx, inbox []runtime.Msg) {
+	for _, msg := range inbox {
+		r, ok := msg.Payload.(row)
+		if !ok {
+			continue
+		}
+		for id, nbrs := range r.Entries {
+			if _, known := m.rows[id]; !known {
+				m.rows[id] = nbrs
+				m.fresh = append(m.fresh, id)
+			}
+		}
+	}
+	sort.Ints(m.fresh)
+}
+
+func (m *collectMachine) solveAndOutput(c *core.StageCtx) {
+	ids := make([]int, 0, len(m.rows))
+	for id := range m.rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	b := graph.NewBuilder(len(ids))
+	b.SetDomain(c.Info().D)
+	for i, id := range ids {
+		b.SetID(i, id)
+	}
+	for id, nbrs := range m.rows {
+		for _, nb := range nbrs {
+			if j, ok := idx[nb]; ok && idx[id] < j {
+				b.AddEdge(idx[id], j)
+			}
+		}
+	}
+	sub := b.MustBuild()
+	out := exact.GreedyMatchingByID(sub)
+	c.Output(out[idx[c.ID()]])
+}
+
+// Solo runs a single matching stage as a complete algorithm.
+func Solo(stage core.Stage) runtime.Factory {
+	return core.Sequence(NewMemory, stage)
+}
+
+// SimpleGreedy is the Simple Template for maximal matching: initialization
+// followed by the measure-uniform proposal algorithm.
+func SimpleGreedy() runtime.Factory {
+	return core.Sequence(NewMemory, Init(), MeasureUniform(0))
+}
+
+// SimpleBase is SimpleGreedy with the Base Algorithm as initialization.
+func SimpleBase() runtime.Factory {
+	return core.Sequence(NewMemory, Base(), MeasureUniform(0))
+}
+
+// SimpleCollect is the Simple Template with the collect-and-solve reference.
+func SimpleCollect() runtime.Factory {
+	return core.Sequence(NewMemory, Init(), Collect())
+}
+
+// ConsecutiveCollect is the Consecutive Template: initialization, the
+// measure-uniform algorithm for r(n)+c'(n) rounds (rounded up to a group
+// boundary), clean-up, then the reference.
+func ConsecutiveCollect() runtime.Factory {
+	return func(info runtime.NodeInfo, pred any) runtime.Machine {
+		budget := CollectBound(info) + 1
+		if rem := budget % 3; rem != 0 {
+			budget += 3 - rem
+		}
+		seq := core.Sequence(NewMemory, Init(), MeasureUniform(budget), Cleanup(), Collect())
+		return seq(info, pred)
+	}
+}

@@ -1,0 +1,179 @@
+package matching_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/predict"
+	"repro/internal/runtime"
+	"repro/internal/verify"
+)
+
+func runMatching(t *testing.T, g *graph.Graph, factory runtime.Factory, preds []int) *runtime.Result {
+	t.Helper()
+	var anyPreds []any
+	if preds != nil {
+		anyPreds = make([]any, len(preds))
+		for i, p := range preds {
+			anyPreds[i] = p
+		}
+	}
+	res, err := runtime.Run(runtime.Config{Graph: g, Factory: factory, Predictions: anyPreds})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := make([]int, g.N())
+	for i, o := range res.Outputs {
+		v, ok := o.(int)
+		if !ok {
+			t.Fatalf("node %d output %v (%T)", g.ID(i), o, o)
+		}
+		out[i] = v
+	}
+	if err := verify.Matching(g, out); err != nil {
+		t.Fatalf("invalid matching: %v", err)
+	}
+	return res
+}
+
+func testGraphs() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(13))
+	return map[string]*graph.Graph{
+		"single":  graph.Line(1),
+		"pair":    graph.Line(2),
+		"line15":  graph.Line(15),
+		"ring16":  graph.Ring(16),
+		"star9":   graph.Star(9),
+		"clique8": graph.Clique(8),
+		"grid6x5": graph.Grid2D(6, 5),
+		"gnp36":   graph.GNP(36, 0.12, rng),
+		"tree25":  graph.RandomTree(25, rng),
+		"paths":   graph.DisjointPaths(4, 5),
+	}
+}
+
+func TestMeasureUniformSolo(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			res := runMatching(t, g, matching.Solo(matching.MeasureUniform(0)), nil)
+			// Paper Section 8.1: at most 3*floor(s/2) rounds per component
+			// (one extra group can be needed to let isolated leftovers
+			// observe their last neighbor leaving).
+			if limit := 3*(g.N()/2) + 3; res.Rounds > limit {
+				t.Errorf("rounds %d > %d", res.Rounds, limit)
+			}
+		})
+	}
+}
+
+func TestSimpleMatchingConsistency(t *testing.T) {
+	for name, g := range testGraphs() {
+		preds := predict.PerfectMatching(g)
+		t.Run(name, func(t *testing.T) {
+			res := runMatching(t, g, matching.SimpleGreedy(), preds)
+			if res.Rounds > 2 {
+				t.Errorf("consistency: got %d rounds, want <= 2", res.Rounds)
+			}
+			for i, o := range res.Outputs {
+				if o.(int) != preds[i] {
+					t.Errorf("node %d output %v, prediction %d", g.ID(i), o, preds[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMatchingTemplatesAcrossErrors(t *testing.T) {
+	factories := map[string]runtime.Factory{
+		"simple-greedy":    matching.SimpleGreedy(),
+		"simple-base":      matching.SimpleBase(),
+		"simple-collect":   matching.SimpleCollect(),
+		"consecutive-coll": matching.ConsecutiveCollect(),
+	}
+	rng := rand.New(rand.NewSource(99))
+	for gname, g := range testGraphs() {
+		for _, k := range []int{0, 1, 3, g.N()} {
+			preds := predict.PerturbMatching(g, predict.PerfectMatching(g), k, rng)
+			for fname, f := range factories {
+				t.Run(gname+"/"+fname, func(t *testing.T) {
+					runMatching(t, g, f, preds)
+				})
+			}
+		}
+	}
+}
+
+func TestMatchingDegradation(t *testing.T) {
+	// Simple template with the measure-uniform algorithm: rounds <=
+	// 3*floor(eta1/2) + base rounds + slack.
+	rng := rand.New(rand.NewSource(7))
+	for gname, g := range testGraphs() {
+		for _, k := range []int{0, 1, 2, 4} {
+			preds := predict.PerturbMatching(g, predict.PerfectMatching(g), k, rng)
+			active := predict.MatchingBaseActive(g, preds)
+			comps := predict.ErrorComponents(g, active)
+			eta1 := predict.Eta1(comps)
+			res := runMatching(t, g, matching.SimpleGreedy(), preds)
+			if limit := 3*(eta1/2) + 2 + 3; res.Rounds > limit {
+				t.Errorf("%s k=%d: rounds %d > 3*floor(eta1/2)+5 = %d (eta1=%d)",
+					gname, k, res.Rounds, limit, eta1)
+			}
+		}
+	}
+}
+
+func TestParallelColoringMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for name, g := range testGraphs() {
+		for _, k := range []int{0, 1, 3, g.N()} {
+			preds := predict.PerturbMatching(g, predict.PerfectMatching(g), k, rng)
+			t.Run(name, func(t *testing.T) {
+				res := runMatching(t, g, matching.ParallelColoring(), preds)
+				eta1 := 0
+				{
+					active := predict.MatchingBaseActive(g, preds)
+					eta1 = predict.Eta1(predict.ErrorComponents(g, active))
+				}
+				// Degradation side of the min: the measure-uniform lane
+				// finishes small error components within 3*floor(eta1/2)+2
+				// of the initialization; the reference side caps the rest.
+				refBound := 2 + matching.EdgeColorRounds(g.D(), g.MaxDegree()) + 3 + 1 +
+					2*(2*g.MaxDegree()-1) + 2
+				if res.Rounds > 3*(eta1/2)+5 && res.Rounds > refBound {
+					t.Errorf("k=%d: rounds %d exceed both 3*floor(eta1/2)+5 (%d) and ref bound (%d)",
+						k, res.Rounds, 3*(eta1/2)+5, refBound)
+				}
+			})
+		}
+	}
+}
+
+func TestParallelColoringMatchingShuffledIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	g := graph.ShuffleIDs(graph.Grid2D(5, 6), 300, rng)
+	for _, k := range []int{0, 2, 10, g.N()} {
+		preds := predict.PerturbMatching(g, predict.PerfectMatching(g), k, rng)
+		runMatching(t, g, matching.ParallelColoring(), preds)
+	}
+}
+
+// TestParallelColoringReferenceTakesOver forces the reference path: on a
+// long ascending-ID line the measure-uniform lane needs ~3n/2 rounds but the
+// line-graph coloring of a Δ=2 graph finishes in a few dozen, so part 2 (the
+// color-class matching) must produce the solution.
+func TestParallelColoringReferenceTakesOver(t *testing.T) {
+	n := 400
+	g := graph.Line(n)
+	preds := make([]int, n) // all ⊥: everything is one error component
+	res := runMatching(t, g, matching.ParallelColoring(), preds)
+	budget := matching.EdgeColorRounds(g.D(), g.MaxDegree())
+	if res.Rounds <= budget {
+		t.Fatalf("rounds %d <= R1 budget %d: part 2 never ran", res.Rounds, budget)
+	}
+	refBound := 2 + budget + 3 + 1 + 2*(2*g.MaxDegree()-1) + 4
+	if res.Rounds > refBound {
+		t.Errorf("rounds %d > reference bound %d", res.Rounds, refBound)
+	}
+}

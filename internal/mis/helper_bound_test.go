@@ -1,0 +1,15 @@
+package mis_test
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/runtime"
+)
+
+// decompBound mirrors the budget computation of ConsecutiveDecomp.
+func decompBound(info runtime.NodeInfo) int {
+	b := decomp.Bound(info) + 1
+	if b%2 == 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+package mis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mis"
+	"repro/internal/predict"
+	"repro/internal/runtime"
+	"repro/internal/verify"
+)
+
+// runMIS executes a factory on g with the given predictions and returns the
+// result after verifying the output is a maximal independent set.
+func runMIS(t *testing.T, g *graph.Graph, factory runtime.Factory, preds []int, parallel bool) *runtime.Result {
+	t.Helper()
+	var anyPreds []any
+	if preds != nil {
+		anyPreds = make([]any, len(preds))
+		for i, p := range preds {
+			anyPreds[i] = p
+		}
+	}
+	res, err := runtime.Run(runtime.Config{
+		Graph:       g,
+		Factory:     factory,
+		Predictions: anyPreds,
+		Parallel:    parallel,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := make([]int, g.N())
+	for i, o := range res.Outputs {
+		bit, ok := o.(int)
+		if !ok {
+			t.Fatalf("node %d output %v (%T), want int", g.ID(i), o, o)
+		}
+		out[i] = bit
+	}
+	if err := verify.MIS(g, out); err != nil {
+		t.Fatalf("invalid MIS: %v", err)
+	}
+	return res
+}
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	return map[string]*graph.Graph{
+		"single":    graph.Line(1),
+		"pair":      graph.Line(2),
+		"line16":    graph.Line(16),
+		"line64":    graph.Line(64),
+		"ring17":    graph.Ring(17),
+		"star12":    graph.Star(12),
+		"clique9":   graph.Clique(9),
+		"grid8x8":   graph.Grid2D(8, 8),
+		"wheel8":    graph.WheelFk(8),
+		"gnp40":     graph.GNP(40, 0.15, rng),
+		"gnp60":     graph.GNP(60, 0.08, rng),
+		"tree33":    graph.RandomTree(33, rng),
+		"bipart5x7": graph.CompleteBipartite(5, 7),
+		"hcube4":    graph.Hypercube(4),
+		"paths":     graph.DisjointPaths(5, 7),
+		"shuffled":  graph.ShuffleIDs(graph.Grid2D(6, 6), 100, rng),
+	}
+}
+
+func perturbedPreds(g *graph.Graph, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return predict.FlipBits(predict.PerfectMIS(g), k, rng)
+}
+
+func TestGreedySoloProducesMIS(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			res := runMIS(t, g, mis.Solo(mis.Greedy()), nil, false)
+			if res.Rounds > g.N()+1 {
+				t.Errorf("greedy took %d rounds on %d nodes, want <= n+1", res.Rounds, g.N())
+			}
+		})
+	}
+}
+
+func TestSimpleGreedyAcrossErrorLevels(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, k := range []int{0, 1, 3, g.N() / 2, g.N()} {
+			preds := perturbedPreds(g, k, int64(k)+11)
+			t.Run(name, func(t *testing.T) {
+				runMIS(t, g, mis.SimpleGreedy(), preds, false)
+			})
+		}
+	}
+}
+
+func TestSimpleGreedyConsistency(t *testing.T) {
+	// With error-free predictions, every algorithm built on the MIS
+	// Initialization Algorithm terminates in exactly 3 rounds.
+	for name, g := range testGraphs(t) {
+		preds := predict.PerfectMIS(g)
+		t.Run(name, func(t *testing.T) {
+			res := runMIS(t, g, mis.SimpleGreedy(), preds, false)
+			if res.Rounds > 3 {
+				t.Errorf("consistency: got %d rounds, want <= 3", res.Rounds)
+			}
+			// The outputs must equal the predictions (pruning property).
+			for i, o := range res.Outputs {
+				if o.(int) != preds[i] {
+					t.Errorf("node %d output %v, prediction %d", g.ID(i), o, preds[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSimpleGreedyDegradationBound(t *testing.T) {
+	// Observation 7 with Lemmas 1 and 2: rounds <= eta1 + 3 and <= eta2 + 4.
+	for name, g := range testGraphs(t) {
+		for _, k := range []int{0, 1, 2, 5, g.N() / 3} {
+			preds := perturbedPreds(g, k, int64(3*k)+5)
+			active := predict.MISBaseActive(g, preds)
+			comps := predict.ErrorComponents(g, active)
+			eta1 := predict.Eta1(comps)
+			eta2, err := predict.Eta2(comps)
+			if err != nil {
+				t.Fatalf("eta2: %v", err)
+			}
+			res := runMIS(t, g, mis.SimpleGreedy(), preds, false)
+			if res.Rounds > eta1+3 {
+				t.Errorf("%s k=%d: rounds %d > eta1+3 = %d", name, k, res.Rounds, eta1+3)
+			}
+			if res.Rounds > eta2+4 {
+				t.Errorf("%s k=%d: rounds %d > eta2+4 = %d", name, k, res.Rounds, eta2+4)
+			}
+		}
+	}
+}
+
+func TestTemplatesAgreeOnValidity(t *testing.T) {
+	factories := map[string]runtime.Factory{
+		"simple-greedy":      mis.SimpleGreedy(),
+		"simple-base":        mis.SimpleBase(),
+		"simple-bw":          mis.SimpleBW(),
+		"simple-collect":     mis.SimpleCollect(),
+		"simple-luby":        mis.SimpleLuby(5),
+		"consecutive-coll":   mis.ConsecutiveCollect(),
+		"consecutive-decomp": mis.ConsecutiveDecomp(5),
+		"interleaved-decomp": mis.InterleavedDecomp(5),
+		"parallel-coloring":  mis.ParallelColoring(),
+	}
+	for gname, g := range testGraphs(t) {
+		for _, k := range []int{0, 2, g.N()} {
+			preds := perturbedPreds(g, k, int64(k)+29)
+			for fname, f := range factories {
+				t.Run(gname+"/"+fname, func(t *testing.T) {
+					runMIS(t, g, f, preds, false)
+				})
+			}
+		}
+	}
+}
+
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		preds := perturbedPreds(g, g.N()/2, 3)
+		for fname, f := range map[string]runtime.Factory{
+			"simple":      mis.SimpleGreedy(),
+			"parallel":    mis.ParallelColoring(),
+			"bw":          mis.SimpleBW(),
+			"luby":        mis.SimpleLuby(3),
+			"collect":     mis.SimpleCollect(),
+			"consecutive": mis.ConsecutiveDecomp(3),
+			"interleaved": mis.InterleavedDecomp(3),
+		} {
+			t.Run(gname+"/"+fname, func(t *testing.T) {
+				seq := runMIS(t, g, f, preds, false)
+				par := runMIS(t, g, f, preds, true)
+				if seq.Rounds != par.Rounds {
+					t.Fatalf("rounds differ: sequential %d, parallel %d", seq.Rounds, par.Rounds)
+				}
+				for i := range seq.Outputs {
+					if seq.Outputs[i] != par.Outputs[i] {
+						t.Fatalf("output %d differs: %v vs %v", i, seq.Outputs[i], par.Outputs[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestParallelColoringBound(t *testing.T) {
+	// Corollary 12: rounds <= min{eta2 + 4, O(Delta + log* d)}; in this
+	// implementation the second term is 3 + evenBudget(vcolor.Rounds) +
+	// palette + 2 or so. We check the eta2 + 4 side, which is the paper's
+	// headline degradation bound.
+	for name, g := range testGraphs(t) {
+		for _, k := range []int{0, 1, 3} {
+			preds := perturbedPreds(g, k, int64(k)+41)
+			active := predict.MISBaseActive(g, preds)
+			comps := predict.ErrorComponents(g, active)
+			eta2, err := predict.Eta2(comps)
+			if err != nil {
+				t.Fatalf("eta2: %v", err)
+			}
+			res := runMIS(t, g, mis.ParallelColoring(), preds, false)
+			if res.Rounds > eta2+4 {
+				t.Errorf("%s k=%d: rounds %d > eta2+4 = %d", name, k, res.Rounds, eta2+4)
+			}
+		}
+	}
+}

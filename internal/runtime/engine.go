@@ -1,0 +1,389 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Config describes one execution of a distributed algorithm.
+type Config struct {
+	// Graph is the communication graph. Required.
+	Graph *graph.Graph
+	// Factory builds the per-node machines. Required.
+	Factory Factory
+	// Predictions, when non-nil, must have length Graph.N(); Predictions[i]
+	// is handed to the factory for node index i.
+	Predictions []any
+	// Parallel selects the goroutine-per-chunk engine; both engines have
+	// identical semantics.
+	Parallel bool
+	// MaxRounds caps the execution; 0 selects 8*n + 64, a generous bound for
+	// every algorithm in this repository (all are O(n)-round or better).
+	MaxRounds int
+	// Crashes maps node index to the round (1-based) at the start of which
+	// the node crashes: from that round on it sends nothing, receives
+	// nothing, and never outputs. Used to exercise fault-tolerant parts.
+	Crashes map[int]int
+	// MaxMessageBits, when positive, enforces the CONGEST model: every
+	// payload must implement BitSized and report at most this many bits;
+	// violations abort the run. The conventional budget is O(log n) — see
+	// CongestBudget.
+	MaxMessageBits int
+	// Observer, when non-nil, is invoked at the end of every round with the
+	// round number, the current outputs (index-aligned, nil where absent),
+	// and which nodes are still active. The slices are reused; copy to keep.
+	Observer func(round int, outputs []any, active []bool)
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Rounds is the round in which the last node terminated (0 if the graph
+	// is empty).
+	Rounds int
+	// Outputs holds each node's final output, indexed by node index; nil for
+	// crashed nodes that never output.
+	Outputs []any
+	// TerminatedAt holds the round each node terminated, 0 for crashed nodes
+	// that never terminated.
+	TerminatedAt []int
+	// Messages is the total number of point-to-point messages delivered.
+	Messages int
+	// MaxMsgBits is the largest single-message size observed, in bits, over
+	// payloads implementing BitSized; -1 if any payload did not implement it
+	// (i.e. the run is LOCAL-only).
+	MaxMsgBits int
+}
+
+// ErrNoTermination is returned when MaxRounds elapses with active nodes.
+var ErrNoTermination = errors.New("runtime: algorithm did not terminate within MaxRounds")
+
+// ErrCongestViolation is returned when MaxMessageBits is set and a message
+// is unsized or too large for the CONGEST budget.
+var ErrCongestViolation = errors.New("runtime: CONGEST bandwidth violation")
+
+// CongestBudget returns the conventional CONGEST message budget for an
+// n-node graph with identifier domain d: c·⌈log₂(max(n,d))⌉ bits with c = 4,
+// enough for a constant number of identifiers or colors per message.
+func CongestBudget(n, d int) int {
+	m := n
+	if d > m {
+		m = d
+	}
+	bits := 1
+	for v := m; v > 1; v >>= 1 {
+		bits++
+	}
+	return 4 * bits
+}
+
+// Run executes the algorithm to completion and returns the result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("runtime: Config.Graph is required")
+	}
+	if cfg.Factory == nil {
+		return nil, errors.New("runtime: Config.Factory is required")
+	}
+	g := cfg.Graph
+	n := g.N()
+	if cfg.Predictions != nil && len(cfg.Predictions) != n {
+		return nil, fmt.Errorf("runtime: %d predictions for %d nodes", len(cfg.Predictions), n)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 8*n + 64
+	}
+
+	st := newState(cfg, g, n)
+	res := &Result{
+		Outputs:      make([]any, n),
+		TerminatedAt: make([]int, n),
+		MaxMsgBits:   0,
+	}
+
+	for round := 1; st.activeCount > 0; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("%w (round %d, %d nodes active)", ErrNoTermination, maxRounds, st.activeCount)
+		}
+		st.beginRound(round)
+		if cfg.Parallel {
+			st.parallelPhase(st.sendPhase)
+		} else {
+			st.sequentialPhase(st.sendPhase)
+		}
+		if err := st.firstError(); err != nil {
+			return nil, err
+		}
+		st.route(res)
+		if cfg.Parallel {
+			st.parallelPhase(st.receivePhase)
+		} else {
+			st.sequentialPhase(st.receivePhase)
+		}
+		if err := st.firstError(); err != nil {
+			return nil, err
+		}
+		st.endRound(round, res)
+		if cfg.Observer != nil {
+			cfg.Observer(round, st.observedOutputs, st.observedActive)
+		}
+	}
+	return res, nil
+}
+
+// state holds the engine's mutable execution state.
+type state struct {
+	cfg  Config
+	g    *graph.Graph
+	n    int
+	envs []*Env
+	mach []Machine
+	// idToIndex maps identifiers to node indices for routing.
+	idToIndex map[int]int
+	// neighborSet[i] is the set of neighbor IDs of node i for send validation.
+	neighborSet []map[int]bool
+	// active[i]: node participates this round (not terminated, not crashed).
+	active      []bool
+	activeCount int
+	// crashedAt[i] is the crash round or 0.
+	crashedAt []int
+	// outboxes[i] holds node i's sends this round.
+	outboxes [][]Out
+	// inboxes[i] holds node i's deliveries this round.
+	inboxes [][]Msg
+	// errs[i] records a per-node engine error (e.g. send to non-neighbor).
+	errs []error
+	// terminatedThisSend marks nodes that terminated during the send phase.
+	terminatedThisSend []bool
+
+	observedOutputs []any
+	observedActive  []bool
+}
+
+func newState(cfg Config, g *graph.Graph, n int) *state {
+	st := &state{
+		cfg:                cfg,
+		g:                  g,
+		n:                  n,
+		envs:               make([]*Env, n),
+		mach:               make([]Machine, n),
+		idToIndex:          make(map[int]int, n),
+		neighborSet:        make([]map[int]bool, n),
+		active:             make([]bool, n),
+		crashedAt:          make([]int, n),
+		outboxes:           make([][]Out, n),
+		inboxes:            make([][]Msg, n),
+		errs:               make([]error, n),
+		terminatedThisSend: make([]bool, n),
+		observedOutputs:    make([]any, n),
+		observedActive:     make([]bool, n),
+	}
+	delta := g.MaxDegree()
+	for i := 0; i < n; i++ {
+		st.idToIndex[g.ID(i)] = i
+	}
+	for i := 0; i < n; i++ {
+		nbrs := g.Neighbors(i)
+		nbIDs := make([]int, len(nbrs))
+		nbSet := make(map[int]bool, len(nbrs))
+		for j, v := range nbrs {
+			nbIDs[j] = g.ID(int(v))
+			nbSet[nbIDs[j]] = true
+		}
+		sort.Ints(nbIDs)
+		info := NodeInfo{
+			Index:       i,
+			ID:          g.ID(i),
+			NeighborIDs: nbIDs,
+			N:           n,
+			D:           g.D(),
+			Delta:       delta,
+		}
+		var pred any
+		if cfg.Predictions != nil {
+			pred = cfg.Predictions[i]
+		}
+		st.envs[i] = &Env{info: info}
+		st.mach[i] = cfg.Factory(info, pred)
+		st.neighborSet[i] = nbSet
+		st.active[i] = true
+	}
+	st.activeCount = n
+	for i, r := range cfg.Crashes {
+		if i < 0 || i >= n {
+			continue
+		}
+		st.crashedAt[i] = r
+	}
+	return st
+}
+
+func (st *state) beginRound(round int) {
+	for i := 0; i < st.n; i++ {
+		if st.active[i] && st.crashedAt[i] != 0 && round >= st.crashedAt[i] {
+			// Crash takes effect: the node silently leaves the computation.
+			st.active[i] = false
+			st.activeCount--
+		}
+		if st.active[i] {
+			st.envs[i].round = round
+		}
+		st.outboxes[i] = nil
+		st.inboxes[i] = nil
+		st.terminatedThisSend[i] = false
+	}
+}
+
+func (st *state) sendPhase(i int) {
+	if !st.active[i] {
+		return
+	}
+	st.outboxes[i] = st.mach[i].Send(st.envs[i])
+	if err := st.envs[i].err; err != nil {
+		st.errs[i] = err
+		return
+	}
+	for _, out := range st.outboxes[i] {
+		if !st.neighborSet[i][out.To] {
+			st.errs[i] = fmt.Errorf("node %d sent to non-neighbor %d", st.envs[i].ID(), out.To)
+			return
+		}
+		if limit := st.cfg.MaxMessageBits; limit > 0 {
+			bs, ok := out.Payload.(BitSized)
+			if !ok || bs.Bits() < 0 {
+				st.errs[i] = fmt.Errorf("%w: node %d sent an unsized payload %T",
+					ErrCongestViolation, st.envs[i].ID(), out.Payload)
+				return
+			}
+			if b := bs.Bits(); b > limit {
+				st.errs[i] = fmt.Errorf("%w: node %d sent %d bits (limit %d)",
+					ErrCongestViolation, st.envs[i].ID(), b, limit)
+				return
+			}
+		}
+	}
+	if st.envs[i].terminated {
+		st.terminatedThisSend[i] = true
+	}
+}
+
+func (st *state) receivePhase(i int) {
+	if !st.active[i] || st.terminatedThisSend[i] {
+		return
+	}
+	st.mach[i].Receive(st.envs[i], st.inboxes[i])
+	if err := st.envs[i].err; err != nil {
+		st.errs[i] = err
+	}
+}
+
+// route delivers this round's messages. Inboxes are ordered by sender index
+// so both engine modes are byte-for-byte deterministic.
+func (st *state) route(res *Result) {
+	for i := 0; i < st.n; i++ {
+		if !st.active[i] {
+			continue
+		}
+		from := st.envs[i].ID()
+		for _, out := range st.outboxes[i] {
+			j := st.idToIndex[out.To]
+			// Messages to nodes that already left the computation vanish; a
+			// node terminating during this round's send phase has, by the
+			// model, already assigned all outputs, so deliveries to it are
+			// moot and are dropped as well.
+			if !st.active[j] || st.terminatedThisSend[j] {
+				continue
+			}
+			st.inboxes[j] = append(st.inboxes[j], Msg{From: from, Payload: out.Payload})
+			res.Messages++
+			if res.MaxMsgBits >= 0 {
+				b := -1
+				if bs, ok := out.Payload.(BitSized); ok {
+					b = bs.Bits()
+				}
+				if b < 0 {
+					// An unsized (or wrapper-of-unsized) payload makes the
+					// run LOCAL-only.
+					res.MaxMsgBits = -1
+				} else if b > res.MaxMsgBits {
+					res.MaxMsgBits = b
+				}
+			}
+		}
+	}
+	for j := 0; j < st.n; j++ {
+		inbox := st.inboxes[j]
+		sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+	}
+}
+
+func (st *state) endRound(round int, res *Result) {
+	for i := 0; i < st.n; i++ {
+		if st.active[i] && st.envs[i].terminated {
+			st.active[i] = false
+			st.activeCount--
+			res.Outputs[i] = st.envs[i].output
+			res.TerminatedAt[i] = round
+			res.Rounds = round
+		}
+		st.observedOutputs[i] = st.envs[i].output
+		if !st.envs[i].hasOutput {
+			st.observedOutputs[i] = nil
+		}
+		st.observedActive[i] = st.active[i]
+	}
+}
+
+func (st *state) firstError() error {
+	for i := 0; i < st.n; i++ {
+		if st.errs[i] != nil {
+			return st.errs[i]
+		}
+	}
+	return nil
+}
+
+func (st *state) sequentialPhase(phase func(i int)) {
+	for i := 0; i < st.n; i++ {
+		phase(i)
+	}
+}
+
+// parallelPhase executes phase(i) for all nodes on a goroutine pool with a
+// barrier: the call returns only once every node's phase has completed, which
+// realizes the synchronous round structure directly.
+func (st *state) parallelPhase(phase func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > st.n {
+		workers = st.n
+	}
+	if workers <= 1 {
+		st.sequentialPhase(phase)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (st.n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > st.n {
+			hi = st.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				phase(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,167 @@
+// Package runtime implements the paper's computational model (Section 2): a
+// synchronous message-passing system in which each node of a graph is a
+// nonfaulty process. In each round, every active node first decides which
+// messages to send to its neighbors (based on its state at the end of the
+// previous round), then receives all messages sent to it this round, performs
+// local computation, optionally assigns its output, and terminates
+// immediately after producing its last output.
+//
+// The engine offers two execution modes with identical semantics: a
+// sequential mode and a parallel mode that runs the per-node send and receive
+// phases on a pool of goroutines with a barrier between phases. Both modes
+// are deterministic and produce identical results; tests assert this.
+//
+// Message sizes are accounted when payloads implement BitSized, allowing
+// CONGEST-model bandwidth checks for the algorithms that fit in O(log n) bits.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Payload is the content of a message. In the LOCAL model payloads may be
+// arbitrarily large; payloads that implement BitSized additionally permit
+// CONGEST accounting.
+type Payload = any
+
+// BitSized is implemented by payloads that can report their encoded size in
+// bits, enabling CONGEST-model bandwidth accounting.
+type BitSized interface {
+	Bits() int
+}
+
+// Msg is a message delivered to a node. From is the sender's identifier.
+type Msg struct {
+	From    int
+	Payload Payload
+}
+
+// Out is a message a node asks the engine to send. To is a neighbor's
+// identifier; sending to a non-neighbor is a protocol error.
+type Out struct {
+	To      int
+	Payload Payload
+}
+
+// NodeInfo is the static information a node knows at the start of the
+// computation, per the paper's model: its identifier, its neighbors'
+// identifiers, n, d, and the maximum degree Δ.
+type NodeInfo struct {
+	// Index is the node's index in the underlying graph (engine-internal;
+	// algorithms should not base decisions on it).
+	Index int
+	// ID is the node's distinct identifier in {1, ..., D}.
+	ID int
+	// NeighborIDs lists the identifiers of adjacent nodes, ascending.
+	NeighborIDs []int
+	// N is the number of nodes in the graph.
+	N int
+	// D is the upper bound on identifiers.
+	D int
+	// Delta is the maximum degree of the graph.
+	Delta int
+}
+
+// Degree returns the node's own degree.
+func (ni NodeInfo) Degree() int { return len(ni.NeighborIDs) }
+
+// Machine is the per-node state machine of a distributed algorithm.
+//
+// Each round the engine calls Send exactly once on every active node, routes
+// the returned messages, and then calls Receive exactly once on every node
+// that is still active (a node that terminated during Send is not handed the
+// round's inbox; by the model it has already assigned all its outputs).
+type Machine interface {
+	// Send decides the messages to transmit this round. It may call
+	// env.Output and env.Terminate; if it terminates, the returned messages
+	// are still delivered this round but Receive is skipped.
+	Send(env *Env) []Out
+	// Receive processes the messages delivered this round and updates state.
+	// It may call env.Output and env.Terminate.
+	Receive(env *Env, inbox []Msg)
+}
+
+// Factory creates the machine for one node, given its static information and
+// its prediction (nil when the algorithm takes no predictions).
+type Factory func(info NodeInfo, prediction any) Machine
+
+// Env is the per-node environment handed to Machine methods. It exposes the
+// node's static information, the current round, and output/termination.
+type Env struct {
+	info       NodeInfo
+	round      int
+	output     any
+	hasOutput  bool
+	terminated bool
+	err        error
+}
+
+// Info returns the node's static information.
+func (e *Env) Info() NodeInfo { return e.info }
+
+// ID returns the node's identifier.
+func (e *Env) ID() int { return e.info.ID }
+
+// Round returns the current round number (1-based).
+func (e *Env) Round() int { return e.round }
+
+// Output assigns (or overwrites) the node's output value. Per the model a
+// node may produce outputs over several rounds (e.g. edge colorings); the
+// value observed at termination is the node's final output.
+func (e *Env) Output(v any) {
+	if e.terminated {
+		e.fail(errors.New("output after termination"))
+		return
+	}
+	e.output = v
+	e.hasOutput = true
+}
+
+// HasOutput reports whether Output has been called.
+func (e *Env) HasOutput() bool { return e.hasOutput }
+
+// CurrentOutput returns the most recently assigned output (nil if none).
+func (e *Env) CurrentOutput() any { return e.output }
+
+// Terminate marks the node as terminated at the end of the current round.
+// A node must have produced an output before terminating.
+func (e *Env) Terminate() {
+	if !e.hasOutput {
+		e.fail(errors.New("terminate without output"))
+		return
+	}
+	e.terminated = true
+}
+
+// Terminated reports whether the node has terminated.
+func (e *Env) Terminated() bool { return e.terminated }
+
+// Fail records a protocol error; the engine aborts the run and surfaces the
+// first recorded error. Composed machines use this to report violations such
+// as lockstep breaks or running past the final stage.
+func (e *Env) Fail(err error) { e.fail(err) }
+
+func (e *Env) fail(err error) {
+	if e.err == nil {
+		e.err = fmt.Errorf("node %d round %d: %w", e.info.ID, e.round, err)
+	}
+}
+
+// Broadcast builds one Out per neighbor carrying payload.
+func Broadcast(info NodeInfo, payload Payload) []Out {
+	outs := make([]Out, len(info.NeighborIDs))
+	for i, nb := range info.NeighborIDs {
+		outs[i] = Out{To: nb, Payload: payload}
+	}
+	return outs
+}
+
+// BroadcastTo builds one Out per listed destination carrying payload.
+func BroadcastTo(dests []int, payload Payload) []Out {
+	outs := make([]Out, len(dests))
+	for i, nb := range dests {
+		outs[i] = Out{To: nb, Payload: payload}
+	}
+	return outs
+}

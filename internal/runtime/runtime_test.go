@@ -1,0 +1,396 @@
+package runtime_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// echoMachine broadcasts its round number until a limit, then outputs the
+// multiset of (sender, payload) pairs it heard, as a canonical string.
+type echoMachine struct {
+	limit int
+	heard []string
+}
+
+type echoPayload struct{ Round, From int }
+
+func (p echoPayload) Bits() int { return 16 }
+
+func (m *echoMachine) Send(env *runtime.Env) []runtime.Out {
+	if env.Round() > m.limit {
+		env.Output(fmt.Sprint(m.heard))
+		env.Terminate()
+		return nil
+	}
+	return runtime.Broadcast(env.Info(), echoPayload{Round: env.Round(), From: env.ID()})
+}
+
+func (m *echoMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {
+	for _, msg := range inbox {
+		m.heard = append(m.heard, fmt.Sprint(msg.From, msg.Payload))
+	}
+}
+
+func echoFactory(limit int) runtime.Factory {
+	return func(info runtime.NodeInfo, pred any) runtime.Machine {
+		return &echoMachine{limit: limit}
+	}
+}
+
+func TestSameRoundDelivery(t *testing.T) {
+	// Messages sent in round r are received in round r (paper Section 2).
+	g := graph.Line(2)
+	var got []string
+	res, err := runtime.Run(runtime.Config{
+		Graph:   g,
+		Factory: echoFactory(2),
+		Observer: func(round int, outputs []any, active []bool) {
+			got = append(got, fmt.Sprint(round, outputs))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", res.Rounds)
+	}
+	// Each node heard exactly rounds 1 and 2 from its single neighbor.
+	for i, o := range res.Outputs {
+		want := fmt.Sprint([]string{
+			fmt.Sprint(g.ID(1-i), echoPayload{Round: 1, From: g.ID(1 - i)}),
+			fmt.Sprint(g.ID(1-i), echoPayload{Round: 2, From: g.ID(1 - i)}),
+		})
+		if o != want {
+			t.Errorf("node %d heard %v, want %v", i, o, want)
+		}
+	}
+}
+
+func TestEngineModesAgreeOnRandomizedTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GNP(30, 0.2, rng)
+		run := func(parallel bool) *runtime.Result {
+			res, err := runtime.Run(runtime.Config{Graph: g, Factory: echoFactory(3), Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		seq, par := run(false), run(true)
+		if seq.Rounds != par.Rounds || seq.Messages != par.Messages {
+			t.Fatalf("engines disagree: %+v vs %+v", seq, par)
+		}
+		for i := range seq.Outputs {
+			if seq.Outputs[i] != par.Outputs[i] {
+				t.Fatalf("node %d outputs differ", i)
+			}
+		}
+	}
+}
+
+// terminateInSend outputs and terminates in its first Send, and fails the
+// run if Receive is ever called afterwards.
+type terminateInSend struct{ done bool }
+
+func (m *terminateInSend) Send(env *runtime.Env) []runtime.Out {
+	m.done = true
+	env.Output(1)
+	env.Terminate()
+	return runtime.Broadcast(env.Info(), "bye")
+}
+
+func (m *terminateInSend) Receive(env *runtime.Env, inbox []runtime.Msg) {
+	if m.done {
+		env.Fail(errors.New("Receive called after terminate-in-Send"))
+	}
+}
+
+func TestTerminateInSendSkipsReceive(t *testing.T) {
+	g := graph.Clique(4)
+	res, err := runtime.Run(runtime.Config{
+		Graph:   g,
+		Factory: func(runtime.NodeInfo, any) runtime.Machine { return &terminateInSend{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	// All final-round messages were dropped (receivers also terminated).
+	if res.Messages != 0 {
+		t.Errorf("messages = %d, want 0", res.Messages)
+	}
+}
+
+// protocolCases exercise engine protocol-error detection.
+type badMachine struct{ mode string }
+
+func (m *badMachine) Send(env *runtime.Env) []runtime.Out {
+	switch m.mode {
+	case "non-neighbor":
+		return []runtime.Out{{To: env.ID(), Payload: "self"}}
+	case "terminate-without-output":
+		env.Terminate()
+	case "output-after-terminate":
+		env.Output(1)
+		env.Terminate()
+		env.Output(2)
+	case "never-terminate":
+	}
+	return nil
+}
+
+func (m *badMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {}
+
+func TestProtocolErrors(t *testing.T) {
+	for _, mode := range []string{
+		"non-neighbor", "terminate-without-output", "output-after-terminate", "never-terminate",
+	} {
+		t.Run(mode, func(t *testing.T) {
+			_, err := runtime.Run(runtime.Config{
+				Graph:     graph.Line(3),
+				MaxRounds: 10,
+				Factory: func(runtime.NodeInfo, any) runtime.Machine {
+					return &badMachine{mode: mode}
+				},
+			})
+			if err == nil {
+				t.Fatalf("%s: want error", mode)
+			}
+			if mode == "never-terminate" && !errors.Is(err, runtime.ErrNoTermination) {
+				t.Errorf("want ErrNoTermination, got %v", err)
+			}
+		})
+	}
+}
+
+// crashProbe terminates at a fixed round and records who it heard from.
+type crashProbe struct {
+	stopAt int
+	heard  map[int]int
+}
+
+func (m *crashProbe) Send(env *runtime.Env) []runtime.Out {
+	if env.Round() >= m.stopAt {
+		env.Output(m.heard)
+		env.Terminate()
+		return nil
+	}
+	return runtime.Broadcast(env.Info(), "ping")
+}
+
+func (m *crashProbe) Receive(env *runtime.Env, inbox []runtime.Msg) {
+	for _, msg := range inbox {
+		m.heard[msg.From]++
+	}
+}
+
+func TestCrashStopsSending(t *testing.T) {
+	g := graph.Line(3) // ids 1-2-3
+	res, err := runtime.Run(runtime.Config{
+		Graph: g,
+		Factory: func(runtime.NodeInfo, any) runtime.Machine {
+			return &crashProbe{stopAt: 5, heard: map[int]int{}}
+		},
+		Crashes: map[int]int{0: 3}, // node index 0 crashes at round 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TerminatedAt[0] != 0 || res.Outputs[0] != nil {
+		t.Errorf("crashed node should have no output: %v at %d", res.Outputs[0], res.TerminatedAt[0])
+	}
+	// Node index 1 heard node 1 (id of index 0) only in rounds 1-2.
+	heard := res.Outputs[1].(map[int]int)
+	if heard[g.ID(0)] != 2 {
+		t.Errorf("heard crashed node %d times, want 2", heard[g.ID(0)])
+	}
+	if heard[g.ID(2)] != 4 {
+		t.Errorf("heard healthy node %d times, want 4", heard[g.ID(2)])
+	}
+}
+
+func TestObserverSeesPartialOutputs(t *testing.T) {
+	g := graph.Line(4)
+	type snapshot struct {
+		round   int
+		actives int
+	}
+	var snaps []snapshot
+	_, err := runtime.Run(runtime.Config{
+		Graph:   g,
+		Factory: echoFactory(2),
+		Observer: func(round int, outputs []any, active []bool) {
+			count := 0
+			for _, a := range active {
+				if a {
+					count++
+				}
+			}
+			snaps = append(snaps, snapshot{round: round, actives: count})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 || snaps[0].actives != 4 || snaps[2].actives != 0 {
+		t.Errorf("unexpected snapshots: %+v", snaps)
+	}
+}
+
+func TestInboxSortedBySender(t *testing.T) {
+	g := graph.ShuffleIDs(graph.Star(8), 80, rand.New(rand.NewSource(13)))
+	factory := func(info runtime.NodeInfo, pred any) runtime.Machine {
+		return &inboxOrderMachine{}
+	}
+	if _, err := runtime.Run(runtime.Config{Graph: g, Factory: factory}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type inboxOrderMachine struct{}
+
+func (m *inboxOrderMachine) Send(env *runtime.Env) []runtime.Out {
+	if env.Round() == 2 {
+		env.Output(0)
+		env.Terminate()
+		return nil
+	}
+	return runtime.Broadcast(env.Info(), env.ID())
+}
+
+func (m *inboxOrderMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {
+	for i := 1; i < len(inbox); i++ {
+		if inbox[i].From < inbox[i-1].From {
+			env.Fail(errors.New("inbox not sorted by sender"))
+			return
+		}
+	}
+}
+
+func TestMaxMsgBitsAccounting(t *testing.T) {
+	g := graph.Line(2)
+	res, err := runtime.Run(runtime.Config{Graph: g, Factory: echoFactory(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMsgBits != 16 {
+		t.Errorf("MaxMsgBits = %d, want 16", res.MaxMsgBits)
+	}
+	// An unsized payload flips the run to LOCAL-only.
+	res, err = runtime.Run(runtime.Config{
+		Graph: g,
+		Factory: func(info runtime.NodeInfo, pred any) runtime.Machine {
+			return &unsizedMachine{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMsgBits != -1 {
+		t.Errorf("MaxMsgBits = %d, want -1", res.MaxMsgBits)
+	}
+}
+
+type unsizedMachine struct{}
+
+func (m *unsizedMachine) Send(env *runtime.Env) []runtime.Out {
+	if env.Round() == 2 {
+		env.Output(0)
+		env.Terminate()
+		return nil
+	}
+	return runtime.Broadcast(env.Info(), struct{ X []int }{X: []int{1, 2, 3}})
+}
+
+func (m *unsizedMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := runtime.Run(runtime.Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := graph.Line(2)
+	if _, err := runtime.Run(runtime.Config{Graph: g}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := runtime.Run(runtime.Config{
+		Graph:       g,
+		Factory:     echoFactory(1),
+		Predictions: []any{1},
+	}); err == nil {
+		t.Error("mismatched prediction length accepted")
+	}
+}
+
+func TestNodeInfoContents(t *testing.T) {
+	g := graph.ShuffleIDs(graph.Star(5), 50, rand.New(rand.NewSource(17)))
+	factory := func(info runtime.NodeInfo, pred any) runtime.Machine {
+		if info.N != 5 || info.D != 50 || info.Delta != 4 {
+			t.Errorf("bad static info: %+v", info)
+		}
+		if len(info.NeighborIDs) != g.Degree(info.Index) {
+			t.Errorf("node %d: %d neighbor ids", info.ID, len(info.NeighborIDs))
+		}
+		for i := 1; i < len(info.NeighborIDs); i++ {
+			if info.NeighborIDs[i] <= info.NeighborIDs[i-1] {
+				t.Error("neighbor ids not strictly ascending")
+			}
+		}
+		return &inboxOrderMachine{}
+	}
+	if _, err := runtime.Run(runtime.Config{Graph: g, Factory: factory}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCongestEnforcement(t *testing.T) {
+	g := graph.Line(3)
+	// Sized payloads within budget pass.
+	res, err := runtime.Run(runtime.Config{
+		Graph:          g,
+		Factory:        echoFactory(2),
+		MaxMessageBits: 16,
+	})
+	if err != nil {
+		t.Fatalf("sized within budget: %v", err)
+	}
+	if res.MaxMsgBits != 16 {
+		t.Errorf("MaxMsgBits = %d", res.MaxMsgBits)
+	}
+	// Sized payloads above budget abort.
+	_, err = runtime.Run(runtime.Config{
+		Graph:          g,
+		Factory:        echoFactory(2),
+		MaxMessageBits: 8,
+	})
+	if !errors.Is(err, runtime.ErrCongestViolation) {
+		t.Errorf("over-budget: got %v, want ErrCongestViolation", err)
+	}
+	// Unsized payloads abort under any budget.
+	_, err = runtime.Run(runtime.Config{
+		Graph: g,
+		Factory: func(info runtime.NodeInfo, pred any) runtime.Machine {
+			return &unsizedMachine{}
+		},
+		MaxMessageBits: 1024,
+	})
+	if !errors.Is(err, runtime.ErrCongestViolation) {
+		t.Errorf("unsized: got %v, want ErrCongestViolation", err)
+	}
+}
+
+func TestCongestBudget(t *testing.T) {
+	if b := runtime.CongestBudget(1024, 1024); b != 4*11 {
+		t.Errorf("CongestBudget(1024) = %d, want 44", b)
+	}
+	if b := runtime.CongestBudget(2, 100000); b < 4*17 {
+		t.Errorf("CongestBudget uses max(n, d): got %d", b)
+	}
+}

@@ -1,0 +1,68 @@
+// Package stats provides the summary statistics the randomized experiments
+// report: mean, standard deviation, extremes, and percentiles over round
+// counts collected from repeated seeded runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of observations.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min, Max int
+	P50, P90 int
+}
+
+// Summarize computes a Summary of the sample (empty samples yield zeros).
+func Summarize(sample []int) Summary {
+	s := Summary{N: len(sample)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]int(nil), sample...)
+	sort.Ints(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	s.P50 = percentile(sorted, 0.50)
+	s.P90 = percentile(sorted, 0.90)
+	sum := 0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = float64(sum) / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, v := range sorted {
+			d := float64(v) - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// percentile returns the value at quantile q of a sorted sample (nearest
+// rank).
+func percentile(sorted []int, q float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean %.2f ± %.2f [%d..%d] p50 %d p90 %d (n=%d)",
+		s.Mean, s.Std, s.Min, s.Max, s.P50, s.P90, s.N)
+}

@@ -1,0 +1,58 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := stats.Summarize([]int{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.P50 != 3 || s.P90 != 5 {
+		t.Errorf("percentiles: p50=%d p90=%d", s.P50, s.P90)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := stats.Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty: %+v", s)
+	}
+	s := stats.Summarize([]int{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.P50 != 7 || s.P90 != 7 {
+		t.Errorf("singleton: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestQuickSummarizeInvariants(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		sample := make([]int, n)
+		for i := range sample {
+			sample[i] = rng.Intn(1000)
+		}
+		s := stats.Summarize(sample)
+		if s.Min > s.P50 || s.P50 > s.P90 || s.P90 > s.Max {
+			return false
+		}
+		if s.Mean < float64(s.Min) || s.Mean > float64(s.Max) {
+			return false
+		}
+		return s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

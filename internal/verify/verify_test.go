@@ -1,0 +1,159 @@
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestMIS(t *testing.T) {
+	g := graph.Line(4) // 0-1-2-3
+	cases := []struct {
+		name string
+		out  []int
+		ok   bool
+	}{
+		{"valid alternating", []int{1, 0, 1, 0}, true},
+		{"valid ends", []int{1, 0, 0, 1}, true},
+		{"adjacent ones", []int{1, 1, 0, 1}, false},
+		{"not maximal", []int{1, 0, 0, 0}, false},
+		{"bad value", []int{1, 0, 2, 0}, false},
+		{"short", []int{1, 0, 1}, false},
+	}
+	for _, c := range cases {
+		err := verify.MIS(g, c.out)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestMISPartialExtendable(t *testing.T) {
+	g := graph.Line(5) // 0-1-2-3-4
+	u := verify.Undecided
+	cases := []struct {
+		name string
+		out  []int
+		ok   bool
+	}{
+		{"all undecided", []int{u, u, u, u, u}, true},
+		{"one in set with both neighbors out", []int{0, 1, 0, u, u}, true},
+		{"in-set node with undecided neighbor", []int{1, u, u, u, u}, false},
+		{"decided zero with no in-set neighbor", []int{0, u, u, u, u}, false},
+		{"complete solution", []int{1, 0, 1, 0, 1}, true},
+		{"zero island", []int{u, u, 0, u, u}, false},
+	}
+	for _, c := range cases {
+		err := verify.MISPartialExtendable(g, c.out)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestMatching(t *testing.T) {
+	g := graph.Line(4) // ids 1,2,3,4
+	cases := []struct {
+		name string
+		out  []int
+		ok   bool
+	}{
+		{"two pairs", []int{2, 1, 4, 3}, true},
+		{"middle pair", []int{0, 3, 2, 0}, true},
+		{"adjacent unmatched", []int{0, 0, 4, 3}, false},
+		{"asymmetric", []int{2, 3, 2, 0}, false},
+		{"non-neighbor", []int{3, 0, 1, 0}, false},
+	}
+	for _, c := range cases {
+		err := verify.Matching(g, c.out)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestMatchingPartialExtendable(t *testing.T) {
+	g := graph.Line(4)
+	u := verify.Undecided
+	cases := []struct {
+		name string
+		out  []int
+		ok   bool
+	}{
+		{"pair plus undecided", []int{2, 1, u, u}, true},
+		{"unmatched beside undecided", []int{0, u, u, u}, false},
+		{"unmatched beside matched", []int{0, 3, 2, u}, true},
+	}
+	for _, c := range cases {
+		err := verify.MatchingPartialExtendable(g, c.out)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestVColor(t *testing.T) {
+	g := graph.Ring(4) // Δ=2, palette {1,2,3}
+	cases := []struct {
+		name string
+		out  []int
+		ok   bool
+	}{
+		{"proper", []int{1, 2, 1, 2}, true},
+		{"adjacent same", []int{1, 1, 2, 3}, false},
+		{"out of palette", []int{1, 2, 1, 4}, false},
+		{"zero color", []int{0, 1, 2, 1}, false},
+	}
+	for _, c := range cases {
+		err := verify.VColor(g, c.out)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	if err := verify.VColorPartial(g, []int{verify.Undecided, 1, verify.Undecided, 1}, 3); err != nil {
+		t.Errorf("partial proper rejected: %v", err)
+	}
+	if err := verify.VColorPartial(g, []int{1, 1, verify.Undecided, verify.Undecided}, 3); err == nil {
+		t.Error("partial improper accepted")
+	}
+}
+
+func TestEColor(t *testing.T) {
+	g := graph.Star(4) // Δ=3, palette {1..5}, edges share the center
+	cases := []struct {
+		name   string
+		colors []int
+		ok     bool
+	}{
+		{"distinct", []int{1, 2, 3}, true},
+		{"duplicate at center", []int{1, 1, 2}, false},
+		{"out of palette", []int{1, 2, 6}, false},
+	}
+	for _, c := range cases {
+		err := verify.EColor(g, c.colors)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNodeEdgeColorsAgree(t *testing.T) {
+	g := graph.Line(3) // edges (0,1), (1,2); neighbor order per node sorted
+	good := [][]int{{5}, {5, 7}, {7}}
+	colors, err := verify.NodeEdgeColorsAgree(g, good)
+	if err != nil {
+		t.Fatalf("agreeing outputs rejected: %v", err)
+	}
+	if colors[0] != 5 || colors[1] != 7 {
+		t.Errorf("colors = %v", colors)
+	}
+	bad := [][]int{{5}, {5, 7}, {8}}
+	if _, err := verify.NodeEdgeColorsAgree(g, bad); err == nil {
+		t.Error("disagreeing outputs accepted")
+	}
+	short := [][]int{{5}, {5}, {7}}
+	if _, err := verify.NodeEdgeColorsAgree(g, short); err == nil {
+		t.Error("wrong-length output accepted")
+	}
+}

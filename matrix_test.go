@@ -1,0 +1,228 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+)
+
+// The integration matrix: every problem × algorithm × graph family × error
+// level, with validity checked by the public runners and consistency /
+// degradation bounds asserted where the paper proves them. This is the
+// repository's broadest regression net.
+
+type matrixGraph struct {
+	name string
+	g    *repro.Graph
+}
+
+func matrixGraphs() []matrixGraph {
+	rng := repro.NewRand(777)
+	return []matrixGraph{
+		{"line33", repro.Line(33)},
+		{"ring34", repro.Ring(34)},
+		{"star21", repro.Star(21)},
+		{"clique10", repro.Clique(10)},
+		{"grid6x7", repro.Grid2D(6, 7)},
+		{"gnp45", repro.GNP(45, 0.1, rng)},
+		{"ba45", repro.BarabasiAlbert(45, 2, rng)},
+		{"tree38", repro.RandomTree(38, rng)},
+		{"hcube5", repro.Hypercube(5)},
+		{"paths6x6", repro.DisjointPaths(6, 6)},
+		{"shuffled", repro.ShuffleIDs(repro.Grid2D(5, 7), 350, rng)},
+	}
+}
+
+var matrixErrorLevels = []int{0, 1, 5, 1 << 30 /* capped to n: everything */}
+
+func TestMatrixMIS(t *testing.T) {
+	algs := map[string]repro.MISAlgorithm{
+		"greedy":      repro.MISGreedy,
+		"simple":      repro.MISSimple,
+		"base":        repro.MISSimpleBase,
+		"bw":          repro.MISSimpleBW,
+		"luby":        repro.MISSimpleLuby,
+		"collect":     repro.MISSimpleCollect,
+		"consC":       repro.MISConsecutiveCollect,
+		"consD":       repro.MISConsecutiveDecomp,
+		"interleaved": repro.MISInterleavedDecomp,
+		"parallel":    repro.MISParallelColoring,
+		"uniform":     repro.MISSimpleUniform,
+	}
+	for _, mg := range matrixGraphs() {
+		perfect := repro.PerfectMIS(mg.g)
+		for _, k := range matrixErrorLevels {
+			preds := repro.FlipBits(perfect, k, repro.NewRand(int64(k)+9))
+			errs, err := repro.MISErrorReport(mg.g, preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for aname, alg := range algs {
+				aname, alg := aname, alg
+				t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
+					res, err := repro.RunMIS(mg.g, preds, alg, repro.Options{Seed: 5})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Consistency: prediction-consuming algorithms finish
+					// within the initialization when eta = 0.
+					if errs.Eta1 == 0 && alg != repro.MISGreedy && alg != repro.MISLubySolo {
+						if res.Run.Rounds > 3 {
+							t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
+						}
+					}
+					// Degradation for the eta1/eta2-degrading algorithms.
+					switch alg {
+					case repro.MISSimple:
+						if res.Run.Rounds > errs.Eta1+3 {
+							t.Errorf("rounds %d > eta1+3 (%d)", res.Run.Rounds, errs.Eta1+3)
+						}
+					case repro.MISParallelColoring:
+						if errs.Eta2 >= 0 && res.Run.Rounds > errs.Eta2+4 {
+							t.Errorf("rounds %d > eta2+4 (%d)", res.Run.Rounds, errs.Eta2+4)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestMatrixMatching(t *testing.T) {
+	algs := map[string]repro.MatchingAlgorithm{
+		"greedy":   repro.MatchingGreedy,
+		"simple":   repro.MatchingSimple,
+		"collect":  repro.MatchingSimpleCollect,
+		"cons":     repro.MatchingConsecutive,
+		"parallel": repro.MatchingParallel,
+	}
+	for _, mg := range matrixGraphs() {
+		perfect := repro.PerfectMatching(mg.g)
+		for _, k := range matrixErrorLevels {
+			preds := repro.PerturbMatching(mg.g, perfect, k, repro.NewRand(int64(k)+11))
+			eta1 := repro.MatchingEta1(mg.g, preds)
+			for aname, alg := range algs {
+				aname, alg := aname, alg
+				t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
+					res, err := repro.RunMatching(mg.g, preds, alg, repro.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if eta1 == 0 && alg != repro.MatchingGreedy && res.Run.Rounds > 3 {
+						t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
+					}
+					if alg == repro.MatchingSimple && res.Run.Rounds > 3*(eta1/2)+5 {
+						t.Errorf("rounds %d > 3*floor(eta1/2)+5 (eta1=%d)", res.Run.Rounds, eta1)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestMatrixVColor(t *testing.T) {
+	algs := map[string]repro.VColorAlgorithm{
+		"greedy":      repro.VColorGreedy,
+		"simple":      repro.VColorSimple,
+		"linial":      repro.VColorSimpleLinial,
+		"cons":        repro.VColorConsecutive,
+		"interleaved": repro.VColorInterleaved,
+		"parallel":    repro.VColorParallel,
+	}
+	for _, mg := range matrixGraphs() {
+		perfect := repro.PerfectVColor(mg.g)
+		for _, k := range matrixErrorLevels {
+			preds := repro.PerturbVColor(mg.g, perfect, k, repro.NewRand(int64(k)+13))
+			eta1 := repro.VColorEta1(mg.g, preds)
+			for aname, alg := range algs {
+				aname, alg := aname, alg
+				t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
+					res, err := repro.RunVColor(mg.g, preds, alg, repro.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if eta1 == 0 && alg != repro.VColorGreedy && res.Run.Rounds > 2 {
+						t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
+					}
+					if alg == repro.VColorSimple && res.Run.Rounds > eta1+2 {
+						t.Errorf("rounds %d > eta1+2 (eta1=%d)", res.Run.Rounds, eta1)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestMatrixEColor(t *testing.T) {
+	algs := map[string]repro.EColorAlgorithm{
+		"greedy":   repro.EColorGreedy,
+		"simple":   repro.EColorSimple,
+		"collect":  repro.EColorSimpleCollect,
+		"cons":     repro.EColorConsecutive,
+		"parallel": repro.EColorParallel,
+	}
+	for _, mg := range matrixGraphs() {
+		if mg.g.M() == 0 {
+			continue
+		}
+		perfect := repro.PerfectEColor(mg.g)
+		for _, k := range matrixErrorLevels {
+			preds := repro.PerturbEColor(mg.g, perfect, k, repro.NewRand(int64(k)+17))
+			eta1 := repro.EColorEta1(mg.g, preds)
+			for aname, alg := range algs {
+				aname, alg := aname, alg
+				t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
+					res, err := repro.RunEColor(mg.g, preds, alg, repro.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if eta1 == 0 && alg != repro.EColorGreedy && res.Run.Rounds > 2 {
+						t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
+					}
+					if alg == repro.EColorSimple && eta1 > 0 && res.Run.Rounds > 2*eta1+2 {
+						t.Errorf("rounds %d > 2*eta1+2 (eta1=%d)", res.Run.Rounds, eta1)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestMatrixCheckers(t *testing.T) {
+	for _, mg := range matrixGraphs() {
+		mg := mg
+		t.Run(mg.name, func(t *testing.T) {
+			// Perfect predictions are accepted everywhere; a corrupted
+			// instance (when it corrupts at all) is rejected somewhere.
+			mis := repro.PerfectMIS(mg.g)
+			cr, err := repro.CheckMIS(mg.g, mis, repro.Options{})
+			if err != nil || !cr.AllAccept {
+				t.Fatalf("perfect MIS rejected: %v", err)
+			}
+			bad := append([]int(nil), mis...)
+			bad[0] ^= 1
+			cr, err = repro.CheckMIS(mg.g, bad, repro.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cr.AllAccept {
+				t.Error("corrupted MIS accepted")
+			}
+			m, err := repro.CheckMatching(mg.g, repro.PerfectMatching(mg.g), repro.Options{})
+			if err != nil || !m.AllAccept {
+				t.Fatalf("perfect matching rejected: %v", err)
+			}
+			v, err := repro.CheckVColor(mg.g, repro.PerfectVColor(mg.g), repro.Options{})
+			if err != nil || !v.AllAccept {
+				t.Fatalf("perfect coloring rejected: %v", err)
+			}
+			if mg.g.M() > 0 {
+				e, err := repro.CheckEColor(mg.g, repro.PerfectEColor(mg.g), repro.Options{})
+				if err != nil || !e.AllAccept {
+					t.Fatalf("perfect edge coloring rejected: %v", err)
+				}
+			}
+		})
+	}
+}

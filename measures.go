@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"errors"
+
+	"repro/internal/exact"
+	"repro/internal/predict"
+	"repro/internal/tree"
+)
+
+// MISErrors aggregates the paper's error measures for one MIS instance with
+// predictions (Sections 5 and 9).
+type MISErrors struct {
+	// Eta1 is the node count of the largest error component.
+	Eta1 int
+	// Eta2 is max over error components of 2·min{α, τ}; Eta2 <= Eta1. It is
+	// -1 when a component exceeded the exact solver's size or step budget.
+	Eta2 int
+	// EtaBW is the largest black or white component; EtaBW <= Eta1.
+	EtaBW int
+	// EtaH is the minimum Hamming distance to a maximal independent set, or
+	// -1 when the graph is too large for exact computation.
+	EtaH int
+	// Components is the number of error components.
+	Components int
+}
+
+// MISErrorReport computes the MIS error measures for (g, preds). The error
+// components are always defined by the Base Algorithm, independent of which
+// initialization an algorithm uses.
+func MISErrorReport(g *Graph, preds []int) (MISErrors, error) {
+	active := predict.MISBaseActive(g, preds)
+	comps := predict.ErrorComponents(g, active)
+	eta2, err := predict.Eta2(comps)
+	if errors.Is(err, exact.ErrTooLarge) {
+		eta2 = -1
+	} else if err != nil {
+		return MISErrors{}, err
+	}
+	etaH := -1
+	if h, err := predict.EtaH(g, preds); err == nil {
+		etaH = h
+	} else if !errors.Is(err, exact.ErrTooLarge) {
+		return MISErrors{}, err
+	}
+	return MISErrors{
+		Eta1:       predict.Eta1(comps),
+		Eta2:       eta2,
+		EtaBW:      predict.EtaBW(g, preds, active),
+		EtaH:       etaH,
+		Components: len(comps),
+	}, nil
+}
+
+// TreeEtaT computes the rooted-tree error measure η_t: one plus the maximum
+// height of the black and white components after the Base Algorithm.
+func TreeEtaT(r *Rooted, preds []int) int {
+	active := predict.MISBaseActive(r.G, preds)
+	return tree.EtaT(r, preds, active)
+}
+
+// MatchingEta1 computes η₁ for a maximal-matching instance with predictions.
+func MatchingEta1(g *Graph, preds []int) int {
+	active := predict.MatchingBaseActive(g, preds)
+	return predict.Eta1(predict.ErrorComponents(g, active))
+}
+
+// VColorEta1 computes η₁ for a (Δ+1)-vertex-coloring instance.
+func VColorEta1(g *Graph, preds []int) int {
+	active := predict.VColorBaseActive(g, preds)
+	return predict.Eta1(predict.ErrorComponents(g, active))
+}
+
+// EColorEta1 computes η₁ (node count of the largest edge error component)
+// for a (2Δ−1)-edge-coloring instance.
+func EColorEta1(g *Graph, preds []EdgePrediction) int {
+	uncolored := predict.EColorBaseUncolored(g, preds)
+	return predict.Eta1(predict.EdgeErrorComponents(g, uncolored))
+}
+
+// Alpha returns the independence number α(g) (exact branch and bound).
+func Alpha(g *Graph) (int, error) { return exact.Alpha(g) }
+
+// Tau returns the vertex cover number τ(g) = n − α(g).
+func Tau(g *Graph) (int, error) { return exact.Tau(g) }

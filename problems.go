@@ -1,0 +1,427 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/ecolor"
+	"repro/internal/linegraph"
+	"repro/internal/matching"
+	"repro/internal/mis"
+	"repro/internal/predict"
+	"repro/internal/runtime"
+	"repro/internal/tree"
+	"repro/internal/vcolor"
+	"repro/internal/verify"
+)
+
+// MISAlgorithm selects an MIS algorithm (with or without predictions).
+type MISAlgorithm int
+
+// The MIS algorithms. The Greedy variant ignores predictions (Algorithm 1
+// run alone); the rest are template instantiations from Section 7 and
+// Section 9.1 of the paper.
+const (
+	// MISGreedy is the measure-uniform Greedy MIS Algorithm alone.
+	MISGreedy MISAlgorithm = iota + 1
+	// MISSimple is Simple(Init, Greedy): η₁- and η₂-degrading.
+	MISSimple
+	// MISSimpleBase is Simple(Base, Greedy), for initialization comparisons.
+	MISSimpleBase
+	// MISSimpleBW is Simple(Init, U_bw), tracking η_bw (Section 9.1).
+	MISSimpleBW
+	// MISSimpleLuby is Simple(Init, Luby) (Section 10).
+	MISSimpleLuby
+	// MISSimpleCollect is Simple(Init, collect-and-solve).
+	MISSimpleCollect
+	// MISConsecutiveCollect is Consecutive with the collect reference.
+	MISConsecutiveCollect
+	// MISConsecutiveDecomp is Consecutive with the decomposition reference.
+	MISConsecutiveDecomp
+	// MISInterleavedDecomp is Interleaved with the decomposition reference
+	// (Corollary 10's shape).
+	MISInterleavedDecomp
+	// MISParallelColoring is the Corollary 12 Parallel Template.
+	MISParallelColoring
+	// MISLubySolo is Luby's algorithm alone (randomized baseline).
+	MISLubySolo
+	// MISSimpleUniform is the Simple Template with the Δ-doubling
+	// coloring reference, whose round complexity depends on the error
+	// components' maximum degree Δ' (and log* d), not the global Δ
+	// (Section 7.1, second example).
+	MISSimpleUniform
+)
+
+// MISResult is the outcome of an MIS run.
+type MISResult struct {
+	// Run carries the round/message metrics.
+	Run Result
+	// InSet is the 0/1 output per node index, verified maximal independent.
+	InSet []int
+}
+
+// MISFactory returns the engine factory for an algorithm choice.
+func MISFactory(alg MISAlgorithm, seed int64) (runtime.Factory, error) {
+	switch alg {
+	case MISGreedy:
+		return mis.Solo(mis.Greedy()), nil
+	case MISSimple:
+		return mis.SimpleGreedy(), nil
+	case MISSimpleBase:
+		return mis.SimpleBase(), nil
+	case MISSimpleBW:
+		return mis.SimpleBW(), nil
+	case MISSimpleLuby:
+		return mis.SimpleLuby(seed), nil
+	case MISSimpleCollect:
+		return mis.SimpleCollect(), nil
+	case MISConsecutiveCollect:
+		return mis.ConsecutiveCollect(), nil
+	case MISConsecutiveDecomp:
+		return mis.ConsecutiveDecomp(seed), nil
+	case MISInterleavedDecomp:
+		return mis.InterleavedDecomp(seed), nil
+	case MISParallelColoring:
+		return mis.ParallelColoring(), nil
+	case MISLubySolo:
+		return mis.Solo(mis.Luby(seed)), nil
+	case MISSimpleUniform:
+		return mis.SimpleUniform(), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown MIS algorithm %d", alg)
+	}
+}
+
+// RunMIS executes the chosen MIS algorithm on g with the given predictions
+// (nil for prediction-free algorithms) and verifies the output.
+func RunMIS(g *Graph, preds []int, alg MISAlgorithm, opts Options) (*MISResult, error) {
+	factory, err := MISFactory(alg, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if alg == MISSimpleUniform && opts.MaxRounds == 0 {
+		// The Δ-doubling reference can legitimately exceed the engine's
+		// O(n)-algorithm default cap on small dense graphs.
+		opts.MaxRounds = mis.UniformMaxRounds(runtime.NodeInfo{N: g.N(), D: g.D(), Delta: g.MaxDegree()})
+	}
+	raw, err := runAndCollect(g, factory, intPreds(preds), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, g.N())
+	for i, o := range raw.Outputs {
+		bit, ok := o.(int)
+		if !ok {
+			return nil, fmt.Errorf("repro: node %d produced %T, want int", g.ID(i), o)
+		}
+		out[i] = bit
+	}
+	if err := verify.MIS(g, out); err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &MISResult{Run: baseResult(raw), InSet: out}, nil
+}
+
+// RunMISTradeoff runs the Section 10 consistency/robustness trade-off
+// variant of the Consecutive Template: the measure-uniform stage is budgeted
+// λ·n rounds before the decomposition reference takes over. λ = 0 trusts the
+// predictions only through the initialization; λ ≥ 1 matches the Greedy
+// algorithm's worst-case needs.
+func RunMISTradeoff(g *Graph, preds []int, lambda float64, opts Options) (*MISResult, error) {
+	raw, err := runAndCollect(g, mis.ConsecutiveTradeoff(lambda, opts.Seed), intPreds(preds), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, g.N())
+	for i, o := range raw.Outputs {
+		bit, ok := o.(int)
+		if !ok {
+			return nil, fmt.Errorf("repro: node %d produced %T, want int", g.ID(i), o)
+		}
+		out[i] = bit
+	}
+	if err := verify.MIS(g, out); err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &MISResult{Run: baseResult(raw), InSet: out}, nil
+}
+
+// TreeMISAlgorithm selects a rooted-tree MIS algorithm (Section 9.2).
+type TreeMISAlgorithm int
+
+// The rooted-tree MIS algorithms.
+const (
+	// TreeRootsLeaves is Algorithm 6 alone.
+	TreeRootsLeaves TreeMISAlgorithm = iota + 1
+	// TreeSimple is the rooted-tree initialization followed by Algorithm 6:
+	// round complexity at most ⌈η_t/2⌉+5.
+	TreeSimple
+	// TreeParallel is the Corollary 15 Parallel Template with the GPS
+	// 3-coloring reference: min{⌈η_t/2⌉+5, O(log* d)}.
+	TreeParallel
+	// TreeConsecutive is the Consecutive Template on rooted trees with the
+	// GPS reference.
+	TreeConsecutive
+)
+
+// RunTreeMIS executes a rooted-tree MIS algorithm and verifies the output.
+func RunTreeMIS(r *Rooted, preds []int, alg TreeMISAlgorithm, opts Options) (*MISResult, error) {
+	var factory runtime.Factory
+	switch alg {
+	case TreeRootsLeaves:
+		factory = tree.Solo(r, tree.RootsAndLeaves(0))
+	case TreeSimple:
+		factory = tree.SimpleRootsLeaves(r)
+	case TreeParallel:
+		factory = tree.ParallelColoring(r)
+	case TreeConsecutive:
+		factory = tree.ConsecutiveColoring(r)
+	default:
+		return nil, fmt.Errorf("repro: unknown tree MIS algorithm %d", alg)
+	}
+	raw, err := runAndCollect(r.G, factory, intPreds(preds), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, r.G.N())
+	for i, o := range raw.Outputs {
+		bit, ok := o.(int)
+		if !ok {
+			return nil, fmt.Errorf("repro: node %d produced %T, want int", r.G.ID(i), o)
+		}
+		out[i] = bit
+	}
+	if err := verify.MIS(r.G, out); err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &MISResult{Run: baseResult(raw), InSet: out}, nil
+}
+
+// MatchingAlgorithm selects a maximal-matching algorithm (Section 8.1).
+type MatchingAlgorithm int
+
+// The maximal-matching algorithms.
+const (
+	// MatchingGreedy is the 3-round-group measure-uniform algorithm alone.
+	MatchingGreedy MatchingAlgorithm = iota + 1
+	// MatchingSimple is Simple(Init, measure-uniform).
+	MatchingSimple
+	// MatchingSimpleCollect is Simple(Init, collect-and-solve).
+	MatchingSimpleCollect
+	// MatchingConsecutive is the Consecutive Template with collect.
+	MatchingConsecutive
+	// MatchingParallel is the Parallel Template with the fault-tolerant
+	// edge-coloring reference (a Corollary 12 analogue for matching).
+	MatchingParallel
+)
+
+// MatchingResult is the outcome of a matching run.
+type MatchingResult struct {
+	// Run carries the round/message metrics.
+	Run Result
+	// Partner is the matched neighbor's identifier per node index, or
+	// Unmatched.
+	Partner []int
+}
+
+// RunMatching executes the chosen matching algorithm and verifies the
+// output.
+func RunMatching(g *Graph, preds []int, alg MatchingAlgorithm, opts Options) (*MatchingResult, error) {
+	var factory runtime.Factory
+	switch alg {
+	case MatchingGreedy:
+		factory = matching.Solo(matching.MeasureUniform(0))
+	case MatchingSimple:
+		factory = matching.SimpleGreedy()
+	case MatchingSimpleCollect:
+		factory = matching.SimpleCollect()
+	case MatchingConsecutive:
+		factory = matching.ConsecutiveCollect()
+	case MatchingParallel:
+		factory = matching.ParallelColoring()
+		if opts.MaxRounds == 0 {
+			// The line-graph coloring reference can legitimately exceed the
+			// O(n)-algorithm default cap (its bound is O(Δ²·polylog), the
+			// documented substitution cost).
+			opts.MaxRounds = edgeRefMaxRounds(g)
+		}
+	default:
+		return nil, fmt.Errorf("repro: unknown matching algorithm %d", alg)
+	}
+	raw, err := runAndCollect(g, factory, intPreds(preds), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, g.N())
+	for i, o := range raw.Outputs {
+		v, ok := o.(int)
+		if !ok {
+			return nil, fmt.Errorf("repro: node %d produced %T, want int", g.ID(i), o)
+		}
+		out[i] = v
+	}
+	if err := verify.Matching(g, out); err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &MatchingResult{Run: baseResult(raw), Partner: out}, nil
+}
+
+// VColorAlgorithm selects a (Δ+1)-vertex-coloring algorithm (Section 8.2).
+type VColorAlgorithm int
+
+// The vertex-coloring algorithms.
+const (
+	// VColorGreedy is the measure-uniform list-coloring algorithm alone.
+	VColorGreedy VColorAlgorithm = iota + 1
+	// VColorSimple is Simple(Init, measure-uniform).
+	VColorSimple
+	// VColorSimpleLinial is Simple(Init, list-aware Linial).
+	VColorSimpleLinial
+	// VColorConsecutive is the Consecutive Template with the Linial
+	// reference (no clean-up needed for this problem).
+	VColorConsecutive
+	// VColorLinial is the Linial coloring alone (no predictions).
+	VColorLinial
+	// VColorInterleaved is the Interleaved Template with the Linial
+	// reference.
+	VColorInterleaved
+	// VColorParallel is the Parallel Template: the measure-uniform
+	// algorithm alongside the fault-tolerant Linial coloring, with a
+	// palette-repair second part.
+	VColorParallel
+)
+
+// VColorResult is the outcome of a vertex-coloring run.
+type VColorResult struct {
+	// Run carries the round/message metrics.
+	Run Result
+	// Color is the output color per node index, in {1, ..., Δ+1}.
+	Color []int
+}
+
+// RunVColor executes the chosen vertex-coloring algorithm and verifies the
+// output.
+func RunVColor(g *Graph, preds []int, alg VColorAlgorithm, opts Options) (*VColorResult, error) {
+	var factory runtime.Factory
+	switch alg {
+	case VColorGreedy:
+		factory = vcolor.Solo(vcolor.MeasureUniform(0))
+	case VColorSimple:
+		factory = vcolor.SimpleGreedy()
+	case VColorSimpleLinial:
+		factory = vcolor.SimpleLinial()
+	case VColorConsecutive:
+		factory = vcolor.ConsecutiveLinial()
+	case VColorLinial:
+		factory = vcolor.Solo(vcolor.LinialStandalone())
+	case VColorInterleaved:
+		factory = vcolor.InterleavedLinial()
+	case VColorParallel:
+		factory = vcolor.ParallelLinial()
+	default:
+		return nil, fmt.Errorf("repro: unknown vertex-coloring algorithm %d", alg)
+	}
+	raw, err := runAndCollect(g, factory, intPreds(preds), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, g.N())
+	for i, o := range raw.Outputs {
+		v, ok := o.(int)
+		if !ok {
+			return nil, fmt.Errorf("repro: node %d produced %T, want int", g.ID(i), o)
+		}
+		out[i] = v
+	}
+	if err := verify.VColor(g, out); err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &VColorResult{Run: baseResult(raw), Color: out}, nil
+}
+
+// EColorAlgorithm selects a (2Δ−1)-edge-coloring algorithm (Section 8.3).
+type EColorAlgorithm int
+
+// The edge-coloring algorithms.
+const (
+	// EColorGreedy is the distance-2 measure-uniform algorithm alone.
+	EColorGreedy EColorAlgorithm = iota + 1
+	// EColorSimple is Simple(Base, measure-uniform).
+	EColorSimple
+	// EColorSimpleCollect is Simple(Base, collect-and-solve).
+	EColorSimpleCollect
+	// EColorConsecutive is the Consecutive Template with collect.
+	EColorConsecutive
+	// EColorParallel is the Parallel Template with the fault-tolerant
+	// line-graph coloring reference and a repair-and-output second part.
+	EColorParallel
+)
+
+// EColorResult is the outcome of an edge-coloring run.
+type EColorResult struct {
+	// Run carries the round/message metrics.
+	Run Result
+	// EdgeColor is the color per edge, indexed like Graph.Edges().
+	EdgeColor []int
+}
+
+// RunEColor executes the chosen edge-coloring algorithm, checks endpoint
+// agreement, and verifies the coloring.
+func RunEColor(g *Graph, preds []EdgePrediction, alg EColorAlgorithm, opts Options) (*EColorResult, error) {
+	var factory runtime.Factory
+	switch alg {
+	case EColorGreedy:
+		factory = ecolor.Solo(ecolor.MeasureUniform(0))
+	case EColorSimple:
+		factory = ecolor.SimpleGreedy()
+	case EColorSimpleCollect:
+		factory = ecolor.SimpleCollect()
+	case EColorConsecutive:
+		factory = ecolor.ConsecutiveCollect()
+	case EColorParallel:
+		factory = ecolor.ParallelColoring()
+		if opts.MaxRounds == 0 {
+			opts.MaxRounds = edgeRefMaxRounds(g)
+		}
+	default:
+		return nil, fmt.Errorf("repro: unknown edge-coloring algorithm %d", alg)
+	}
+	var anyPreds []any
+	if preds != nil {
+		anyPreds = make([]any, len(preds))
+		for i, p := range preds {
+			anyPreds[i] = []int(p)
+		}
+	}
+	raw, err := runAndCollect(g, factory, anyPreds, opts)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([][]int, g.N())
+	for i, o := range raw.Outputs {
+		v, ok := o.([]int)
+		if !ok {
+			return nil, fmt.Errorf("repro: node %d produced %T, want []int", g.ID(i), o)
+		}
+		outs[i] = v
+	}
+	colors, err := verify.NodeEdgeColorsAgree(g, outs)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	if g.M() > 0 {
+		if err := verify.EColor(g, colors); err != nil {
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+	}
+	return &EColorResult{Run: baseResult(raw), EdgeColor: colors}, nil
+}
+
+// edgeRefMaxRounds returns a safe engine cap for the algorithms whose
+// reference is the line-graph Linial coloring.
+func edgeRefMaxRounds(g *Graph) int {
+	delta := g.MaxDegree()
+	return 8*g.N() + 64 + linegraph.Rounds(g.D(), delta) + 2*(2*delta+1) + 16
+}
+
+// Ensure predict's Unmatched matches matching's (compile-time check).
+var _ = [1]struct{}{}[predict.Unmatched-matching.Unmatched]

@@ -1,0 +1,219 @@
+// Package repro is a Go library reproducing "Distributed Graph Algorithms
+// with Predictions" (Boyar, Ellen, Larsen; brief announcement in PODC 2025):
+// deterministic distributed graph algorithms in the synchronous LOCAL model
+// whose nodes receive possibly-incorrect predictions of their outputs.
+//
+// The library provides:
+//
+//   - a deterministic synchronous round engine (one goroutine pool with a
+//     barrier per round, or a sequential mode with identical semantics);
+//   - the paper's framework: base/initialization/clean-up algorithms,
+//     measure-uniform algorithms, and the four templates (Simple,
+//     Consecutive, Interleaved, Parallel) as generic combinators;
+//   - instantiations for Maximal Independent Set, Maximal Matching,
+//     (Δ+1)-Vertex Coloring, and (2Δ−1)-Edge Coloring, plus the rooted-tree
+//     MIS specialization;
+//   - the error measures η_H, η₁, η₂, η_bw, η_t and prediction generators
+//     with controllable error;
+//   - a benchmark harness regenerating every quantitative claim in the
+//     paper (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	g := repro.GNP(200, 0.05, rand.New(rand.NewSource(1)))
+//	preds := repro.FlipBits(repro.PerfectMIS(g), 10, rng)
+//	res, err := repro.RunMIS(g, preds, repro.MISParallelColoring, repro.Options{})
+//	fmt.Println(res.Rounds, res.InSet)
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/predict"
+	"repro/internal/runtime"
+	"repro/internal/tree"
+)
+
+// Graph is an immutable undirected graph with distinct node identifiers in
+// {1, ..., D}; see NewGraphBuilder and the generators.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates nodes and edges for a Graph.
+type GraphBuilder = graph.Builder
+
+// Rooted is a rooted tree or forest for the Section 9.2 algorithms.
+type Rooted = tree.Rooted
+
+// EdgePrediction holds a node's predicted edge colors in sorted-neighbor
+// order.
+type EdgePrediction = predict.EdgePrediction
+
+// NewGraphBuilder returns a builder for a graph with n nodes, identifiers
+// defaulting to 1..n.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// Graph generators (see internal/graph for details).
+var (
+	// Line returns a path of n nodes.
+	Line = graph.Line
+	// Ring returns a cycle of n nodes.
+	Ring = graph.Ring
+	// Star returns a star with n-1 leaves.
+	Star = graph.Star
+	// Clique returns the complete graph on n nodes.
+	Clique = graph.Clique
+	// CompleteBipartite returns K_{a,b}.
+	CompleteBipartite = graph.CompleteBipartite
+	// Grid2D returns the rows×cols grid.
+	Grid2D = graph.Grid2D
+	// WheelFk returns the paper's Figure 1 graph F_k.
+	WheelFk = graph.WheelFk
+	// GNP returns an Erdős–Rényi random graph.
+	GNP = graph.GNP
+	// RandomTree returns a uniform random labelled tree.
+	RandomTree = graph.RandomTree
+	// Caterpillar returns a spine-with-legs tree.
+	Caterpillar = graph.Caterpillar
+	// Hypercube returns the dim-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// DisjointPaths returns count disjoint paths of pathLen nodes each.
+	DisjointPaths = graph.DisjointPaths
+	// ShuffleIDs reassigns random identifiers from {1, ..., domain}.
+	ShuffleIDs = graph.ShuffleIDs
+	// FlipEdges toggles k random node pairs (network churn).
+	FlipEdges = graph.FlipEdges
+	// BarabasiAlbert returns a preferential-attachment random graph.
+	BarabasiAlbert = graph.BarabasiAlbert
+	// DisjointUnion concatenates graphs with disjoint identifier ranges.
+	DisjointUnion = graph.DisjointUnion
+	// LineWithIDs returns a path with a chosen identifier sequence.
+	LineWithIDs = graph.LineWithIDs
+)
+
+// Rooted-tree constructors.
+var (
+	// DirectedLine returns a rooted path (node 0 is the root).
+	DirectedLine = tree.DirectedLine
+	// RandomRooted returns a random tree rooted at node 0.
+	RandomRooted = tree.RandomRooted
+	// RootAt orients an acyclic graph as a rooted forest.
+	RootAt = tree.RootAt
+)
+
+// Prediction generators.
+var (
+	// PerfectMIS returns an error-free MIS prediction.
+	PerfectMIS = predict.PerfectMIS
+	// FlipBits flips k random prediction bits.
+	FlipBits = predict.FlipBits
+	// FlipProb flips each bit independently with probability p.
+	FlipProb = predict.FlipProb
+	// Uniform returns n copies of a value.
+	Uniform = predict.Uniform
+	// GridBW returns the Figure 2 grid pattern.
+	GridBW = predict.GridBW
+	// WheelCenterOne returns the Figure 1 predictions on WheelFk(k).
+	WheelCenterOne = predict.WheelCenterOne
+	// Mod3Line returns the Section 9.2 pattern on DirectedLine(3k).
+	Mod3Line = predict.Mod3Line
+	// MISFromRelatedGraph reuses a solution from a related network.
+	MISFromRelatedGraph = predict.MISFromRelatedGraph
+	// PerfectMatching returns an error-free matching prediction.
+	PerfectMatching = predict.PerfectMatching
+	// PerturbMatching rewires k nodes' matching predictions.
+	PerturbMatching = predict.PerturbMatching
+	// PerfectVColor returns an error-free (Δ+1)-coloring prediction.
+	PerfectVColor = predict.PerfectVColor
+	// PerturbVColor re-randomizes k nodes' color predictions.
+	PerturbVColor = predict.PerturbVColor
+	// PerfectEColor returns an error-free (2Δ−1)-edge-coloring prediction.
+	PerfectEColor = predict.PerfectEColor
+	// PerturbEColor re-randomizes k edges' color predictions.
+	PerturbEColor = predict.PerturbEColor
+)
+
+// Unmatched is the maximal-matching output for an unmatched node (⊥).
+const Unmatched = predict.Unmatched
+
+// Options configures a run.
+type Options struct {
+	// Parallel selects the goroutine engine (identical results).
+	Parallel bool
+	// MaxRounds caps the execution (0 = 8n+64).
+	MaxRounds int
+	// Seed drives the seeded algorithms (Luby, the decomposition
+	// reference); ignored by deterministic ones.
+	Seed int64
+	// Crashes maps node index to crash round, for fault-injection runs.
+	Crashes map[int]int
+	// CongestBits, when positive, enforces the CONGEST model: every message
+	// must be size-accounted and at most this many bits. Algorithms built on
+	// LOCAL-size floods (collect, decomposition) will abort under it.
+	CongestBits int
+	// OnRound, when non-nil, is called at the end of every round with the
+	// round number and the count of still-active nodes — a lightweight trace
+	// hook for progress visualization.
+	OnRound func(round, active int)
+}
+
+// Result carries the run metrics shared by all problems.
+type Result struct {
+	// Rounds is the round in which the last node terminated.
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int
+	// MaxMsgBits is the largest message in bits (-1 when a payload was not
+	// size-accounted, i.e. LOCAL-only).
+	MaxMsgBits int
+	// TerminatedAt is the termination round per node index.
+	TerminatedAt []int
+}
+
+func runAndCollect(g *Graph, factory runtime.Factory, preds []any, opts Options) (*runtime.Result, error) {
+	var observer func(round int, outputs []any, active []bool)
+	if opts.OnRound != nil {
+		observer = func(round int, outputs []any, active []bool) {
+			count := 0
+			for _, a := range active {
+				if a {
+					count++
+				}
+			}
+			opts.OnRound(round, count)
+		}
+	}
+	return runtime.Run(runtime.Config{
+		Graph:          g,
+		Factory:        factory,
+		Predictions:    preds,
+		Parallel:       opts.Parallel,
+		MaxRounds:      opts.MaxRounds,
+		Crashes:        opts.Crashes,
+		MaxMessageBits: opts.CongestBits,
+		Observer:       observer,
+	})
+}
+
+func baseResult(r *runtime.Result) Result {
+	return Result{
+		Rounds:       r.Rounds,
+		Messages:     r.Messages,
+		MaxMsgBits:   r.MaxMsgBits,
+		TerminatedAt: r.TerminatedAt,
+	}
+}
+
+func intPreds(preds []int) []any {
+	if preds == nil {
+		return nil
+	}
+	out := make([]any, len(preds))
+	for i, p := range preds {
+		out[i] = p
+	}
+	return out
+}
+
+// NewRand returns a deterministic PRNG for the generators.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

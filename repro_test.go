@@ -1,0 +1,136 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// These tests exercise the public facade end to end: every exported runner,
+// on every algorithm constant, with verified outputs.
+
+func TestPublicMISAlgorithms(t *testing.T) {
+	g := repro.GNP(60, 0.08, repro.NewRand(4))
+	preds := repro.FlipBits(repro.PerfectMIS(g), 6, repro.NewRand(5))
+	algs := []repro.MISAlgorithm{
+		repro.MISGreedy, repro.MISSimple, repro.MISSimpleBase, repro.MISSimpleBW,
+		repro.MISSimpleLuby, repro.MISSimpleCollect, repro.MISConsecutiveCollect,
+		repro.MISConsecutiveDecomp, repro.MISInterleavedDecomp,
+		repro.MISParallelColoring, repro.MISLubySolo, repro.MISSimpleUniform,
+	}
+	for _, alg := range algs {
+		res, err := repro.RunMIS(g, preds, alg, repro.Options{Seed: 6})
+		if err != nil {
+			t.Fatalf("alg %d: %v", alg, err)
+		}
+		if res.Run.Rounds <= 0 {
+			t.Errorf("alg %d: nonpositive rounds", alg)
+		}
+		if len(res.InSet) != g.N() {
+			t.Errorf("alg %d: %d outputs", alg, len(res.InSet))
+		}
+	}
+	if _, err := repro.RunMIS(g, preds, repro.MISAlgorithm(99), repro.Options{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	for _, lambda := range []float64{0, 0.5, 1} {
+		if _, err := repro.RunMISTradeoff(g, preds, lambda, repro.Options{MaxRounds: 64 * g.N()}); err != nil {
+			t.Fatalf("tradeoff lambda=%v: %v", lambda, err)
+		}
+	}
+}
+
+func TestPublicMatchingVColorEColor(t *testing.T) {
+	g := repro.Grid2D(7, 7)
+	mPreds := repro.PerturbMatching(g, repro.PerfectMatching(g), 5, repro.NewRand(7))
+	for _, alg := range []repro.MatchingAlgorithm{
+		repro.MatchingGreedy, repro.MatchingSimple,
+		repro.MatchingSimpleCollect, repro.MatchingConsecutive,
+		repro.MatchingParallel,
+	} {
+		if _, err := repro.RunMatching(g, mPreds, alg, repro.Options{}); err != nil {
+			t.Fatalf("matching alg %d: %v", alg, err)
+		}
+	}
+	vPreds := repro.PerturbVColor(g, repro.PerfectVColor(g), 5, repro.NewRand(8))
+	for _, alg := range []repro.VColorAlgorithm{
+		repro.VColorGreedy, repro.VColorSimple, repro.VColorSimpleLinial,
+		repro.VColorConsecutive, repro.VColorLinial,
+		repro.VColorInterleaved, repro.VColorParallel,
+	} {
+		if _, err := repro.RunVColor(g, vPreds, alg, repro.Options{}); err != nil {
+			t.Fatalf("vcolor alg %d: %v", alg, err)
+		}
+	}
+	ePreds := repro.PerturbEColor(g, repro.PerfectEColor(g), 5, repro.NewRand(9))
+	for _, alg := range []repro.EColorAlgorithm{
+		repro.EColorGreedy, repro.EColorSimple,
+		repro.EColorSimpleCollect, repro.EColorConsecutive,
+		repro.EColorParallel,
+	} {
+		if _, err := repro.RunEColor(g, ePreds, alg, repro.Options{}); err != nil {
+			t.Fatalf("ecolor alg %d: %v", alg, err)
+		}
+	}
+}
+
+func TestPublicTreeMIS(t *testing.T) {
+	r := repro.RandomRooted(50, repro.NewRand(10))
+	preds := repro.FlipBits(repro.PerfectMIS(r.G), 5, repro.NewRand(11))
+	for _, alg := range []repro.TreeMISAlgorithm{
+		repro.TreeRootsLeaves, repro.TreeSimple, repro.TreeParallel,
+		repro.TreeConsecutive,
+	} {
+		res, err := repro.RunTreeMIS(r, preds, alg, repro.Options{})
+		if err != nil {
+			t.Fatalf("tree alg %d: %v", alg, err)
+		}
+		if res.Run.Rounds <= 0 {
+			t.Errorf("tree alg %d: nonpositive rounds", alg)
+		}
+	}
+	if got := repro.TreeEtaT(r, preds); got < 0 {
+		t.Errorf("TreeEtaT = %d", got)
+	}
+}
+
+func TestPublicErrorMeasures(t *testing.T) {
+	g := repro.Ring(24)
+	preds := repro.FlipBits(repro.PerfectMIS(g), 4, repro.NewRand(12))
+	errs, err := repro.MISErrorReport(g, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs.Eta2 > errs.Eta1 || errs.EtaBW > errs.Eta1 {
+		t.Errorf("measure ordering violated: %+v", errs)
+	}
+	if errs.EtaH < 0 {
+		t.Errorf("etaH should be computable on n=24: %+v", errs)
+	}
+	perfect := repro.PerfectMIS(g)
+	clean, err := repro.MISErrorReport(g, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Eta1 != 0 || clean.Eta2 != 0 || clean.EtaBW != 0 || clean.EtaH != 0 {
+		t.Errorf("perfect predictions should have zero error: %+v", clean)
+	}
+	if a, err := repro.Alpha(g); err != nil || a != 12 {
+		t.Errorf("alpha(C24) = %d, %v; want 12", a, err)
+	}
+	if tau, err := repro.Tau(g); err != nil || tau != 12 {
+		t.Errorf("tau(C24) = %d, %v; want 12", tau, err)
+	}
+}
+
+func TestCrashInjectionSurfacesAsError(t *testing.T) {
+	// A crashed node never outputs, so the full-solution verifier must
+	// reject the run; the fault-tolerance guarantees themselves (survivors
+	// stay consistent) are tested at the runtime and vcolor layers.
+	g := repro.Ring(12)
+	if _, err := repro.RunMIS(g, nil, repro.MISGreedy, repro.Options{
+		Crashes: map[int]int{0: 1},
+	}); err == nil {
+		t.Error("crashed node should make full-solution verification fail")
+	}
+}
