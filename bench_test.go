@@ -73,3 +73,24 @@ func BenchmarkEngineParallelTemplate1k(b *testing.B) {
 	benchMIS(b, 1000, repro.MISParallelColoring, 50, false)
 }
 func BenchmarkEngineGreedy4k(b *testing.B) { benchMIS(b, 4000, repro.MISGreedy, 0, false) }
+
+// Engine throughput through the public API: greedy MIS on a shuffled-ID
+// 4096-node ring (O(log n) expected rounds), both engine modes. The
+// engine-only counterpart with a zero-alloc workload is
+// BenchmarkEngineThroughput in internal/runtime.
+func benchEngineRing(b *testing.B, parallel bool) {
+	b.Helper()
+	const n = 4096
+	g := repro.ShuffleIDs(repro.Ring(n), n, repro.NewRand(7))
+	opts := repro.Options{Parallel: parallel}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.RunMIS(g, nil, repro.MISGreedy, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineThroughputRing4k(b *testing.B)    { benchEngineRing(b, false) }
+func BenchmarkEngineThroughputRing4kPar(b *testing.B) { benchEngineRing(b, true) }

@@ -5,17 +5,23 @@
 //
 // Usage:
 //
-//	dgp-bench            # run every experiment
-//	dgp-bench -exp E5    # run one experiment
-//	dgp-bench -list      # list experiment ids and titles
+//	dgp-bench                  # run every experiment
+//	dgp-bench -exp E5          # run one experiment
+//	dgp-bench -list            # list experiment ids and titles
+//	dgp-bench -enginestats     # per-round engine instrumentation demo
+//	dgp-bench -enginestats -n 8192 -par
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/mis"
+	"repro/internal/runtime"
 )
 
 func main() {
@@ -28,6 +34,9 @@ func main() {
 func run() error {
 	exp := flag.String("exp", "", "run a single experiment id (e.g. E5)")
 	list := flag.Bool("list", false, "list experiments")
+	engineStats := flag.Bool("enginestats", false, "print per-round engine stats (Config.Stats) for a greedy-MIS ring run")
+	n := flag.Int("n", 4096, "ring size for -enginestats")
+	par := flag.Bool("par", false, "use the worker-pool engine for -enginestats")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +44,9 @@ func run() error {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
+	}
+	if *engineStats {
+		return runEngineStats(*n, *par)
 	}
 	if *exp != "" {
 		e := bench.Find(*exp)
@@ -47,5 +59,36 @@ func run() error {
 		return nil
 	}
 	bench.RenderAll(os.Stdout)
+	return nil
+}
+
+// runEngineStats exercises the engine instrumentation hook: greedy MIS on a
+// shuffled-ID ring, one table row per round with wall time, active nodes,
+// deliveries, and payload bits.
+func runEngineStats(n int, parallel bool) error {
+	if n < 3 {
+		return fmt.Errorf("-n %d: need at least 3 nodes for a ring", n)
+	}
+	g := graph.ShuffleIDs(graph.Ring(n), n, rand.New(rand.NewSource(1)))
+	t := &bench.Table{
+		ID:      "ENGINE",
+		Title:   fmt.Sprintf("per-round engine stats: greedy MIS, ring n=%d, parallel=%v", n, parallel),
+		Columns: []string{"round", "wall", "active", "messages", "bits"},
+	}
+	var stats []runtime.RoundStats
+	res, err := runtime.Run(runtime.Config{
+		Graph:    g,
+		Factory:  mis.Solo(mis.Greedy()),
+		Parallel: parallel,
+		Stats:    func(s runtime.RoundStats) { stats = append(stats, s) },
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range stats {
+		t.AddRow(s.Round, s.Duration.String(), s.Active, s.Messages, s.Bits)
+	}
+	t.Note("totals: %d rounds, %d messages, max msg bits %d", res.Rounds, res.Messages, res.MaxMsgBits)
+	t.Render(os.Stdout)
 	return nil
 }

@@ -449,7 +449,8 @@ func E16() []*Table {
 		}
 		t.AddRow(c.name, seq.Rounds, par.Rounds, boolCell(agree), seq.Messages, seq.MaxMsgBits)
 	}
-	t.Note("max msg bits -1 marks LOCAL-only algorithms (unbounded messages, e.g. collect/decomp floods);")
+	t.Note("max msg bits -1 marks runs with no sized payload: LOCAL-only algorithms (unbounded")
+	t.Note("messages, e.g. collect/decomp floods) or runs that delivered no messages at all;")
 	t.Note("the greedy/base/clean-up family fits CONGEST with O(1)-bit payloads plus small lane headers")
 	return []*Table{t}
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"sort"
 )
 
 // Line returns a path with n nodes 0-1-2-...-(n-1), identifiers 1..n.
@@ -240,7 +241,15 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) *Graph {
 		for len(chosen) < m {
 			chosen[endpoints[rng.Intn(len(endpoints))]] = true
 		}
+		// Iterate the picks in sorted order: ranging over the map directly
+		// would make the graph (and every downstream rng draw) depend on
+		// map iteration order, breaking run-to-run determinism.
+		picks := make([]int, 0, m)
 		for u := range chosen {
+			picks = append(picks, u)
+		}
+		sort.Ints(picks)
+		for _, u := range picks {
 			b.AddEdge(v, u)
 			endpoints = append(endpoints, v, u)
 		}
@@ -296,10 +305,22 @@ func FlipEdges(g *Graph, k int, rng *rand.Rand) *Graph {
 	for i := 0; i < g.N(); i++ {
 		b.SetID(i, g.ID(i))
 	}
+	// Add surviving edges in sorted order, not map order, so the resulting
+	// edge list (and anything indexed by it) is deterministic.
+	kept := make([][2]int, 0, len(edges))
 	for e, present := range edges {
 		if present {
-			b.AddEdge(e[0], e[1])
+			kept = append(kept, e)
 		}
+	}
+	sort.Slice(kept, func(a, b int) bool {
+		if kept[a][0] != kept[b][0] {
+			return kept[a][0] < kept[b][0]
+		}
+		return kept[a][1] < kept[b][1]
+	})
+	for _, e := range kept {
+		b.AddEdge(e[0], e[1])
 	}
 	return b.MustBuild()
 }

@@ -3,9 +3,10 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -19,8 +20,10 @@ type Config struct {
 	// Predictions, when non-nil, must have length Graph.N(); Predictions[i]
 	// is handed to the factory for node index i.
 	Predictions []any
-	// Parallel selects the goroutine-per-chunk engine; both engines have
-	// identical semantics.
+	// Parallel selects the worker-pool engine: a pool of goroutines is
+	// created once per Run and executes the send/receive phases of every
+	// round via phase signals, with a barrier between phases. Both engines
+	// have identical semantics.
 	Parallel bool
 	// MaxRounds caps the execution; 0 selects 8*n + 64, a generous bound for
 	// every algorithm in this repository (all are O(n)-round or better).
@@ -28,6 +31,7 @@ type Config struct {
 	// Crashes maps node index to the round (1-based) at the start of which
 	// the node crashes: from that round on it sends nothing, receives
 	// nothing, and never outputs. Used to exercise fault-tolerant parts.
+	// Crash rounds must be >= 1; zero or negative rounds are a config error.
 	Crashes map[int]int
 	// MaxMessageBits, when positive, enforces the CONGEST model: every
 	// payload must implement BitSized and report at most this many bits;
@@ -38,6 +42,27 @@ type Config struct {
 	// round number, the current outputs (index-aligned, nil where absent),
 	// and which nodes are still active. The slices are reused; copy to keep.
 	Observer func(round int, outputs []any, active []bool)
+	// Stats, when non-nil, is invoked at the end of every round with the
+	// engine's instrumentation record for that round (wall time, deliveries,
+	// payload bits). Purely observational: it never affects semantics.
+	Stats func(RoundStats)
+}
+
+// RoundStats is the engine's per-round instrumentation record, reported
+// through Config.Stats.
+type RoundStats struct {
+	// Round is the 1-based round number.
+	Round int
+	// Duration is the wall time of the whole round (send, route, receive,
+	// bookkeeping).
+	Duration time.Duration
+	// Messages is the number of messages delivered this round.
+	Messages int
+	// Bits is the total size of the round's delivered payloads that
+	// implement BitSized, in bits; unsized payloads contribute nothing.
+	Bits int
+	// Active is the number of nodes that participated in this round.
+	Active int
 }
 
 // Result reports the outcome of a run.
@@ -54,8 +79,10 @@ type Result struct {
 	// Messages is the total number of point-to-point messages delivered.
 	Messages int
 	// MaxMsgBits is the largest single-message size observed, in bits, over
-	// payloads implementing BitSized; -1 if any payload did not implement it
-	// (i.e. the run is LOCAL-only).
+	// payloads implementing BitSized. It is -1 when no sized payload was
+	// ever observed: either some delivered payload did not implement
+	// BitSized (the run is LOCAL-only) or the run delivered no messages at
+	// all, so no bandwidth claim can be made either way.
 	MaxMsgBits int
 }
 
@@ -68,17 +95,18 @@ var ErrCongestViolation = errors.New("runtime: CONGEST bandwidth violation")
 
 // CongestBudget returns the conventional CONGEST message budget for an
 // n-node graph with identifier domain d: c·⌈log₂(max(n,d))⌉ bits with c = 4,
-// enough for a constant number of identifiers or colors per message.
+// enough for a constant number of identifiers or colors per message. The
+// degenerate single-node case gets the one-bit floor, 4·1.
 func CongestBudget(n, d int) int {
 	m := n
 	if d > m {
 		m = d
 	}
-	bits := 1
-	for v := m; v > 1; v >>= 1 {
-		bits++
+	if m < 2 {
+		return 4
 	}
-	return 4 * bits
+	// bits.Len(m-1) is exactly ⌈log₂ m⌉ for m >= 2.
+	return 4 * bits.Len(uint(m-1))
 }
 
 // Run executes the algorithm to completion and returns the result.
@@ -94,44 +122,64 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Predictions != nil && len(cfg.Predictions) != n {
 		return nil, fmt.Errorf("runtime: %d predictions for %d nodes", len(cfg.Predictions), n)
 	}
+	for i, r := range cfg.Crashes {
+		if r < 1 {
+			return nil, fmt.Errorf("runtime: Config.Crashes[%d] = %d; crash rounds are 1-based and must be >= 1", i, r)
+		}
+	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 8*n + 64
 	}
 
 	st := newState(cfg, g, n)
+	if cfg.Parallel {
+		st.pool = newWorkerPool(n)
+		if st.pool != nil {
+			defer st.pool.close()
+		}
+	}
 	res := &Result{
 		Outputs:      make([]any, n),
 		TerminatedAt: make([]int, n),
-		MaxMsgBits:   0,
 	}
 
 	for round := 1; st.activeCount > 0; round++ {
 		if round > maxRounds {
 			return nil, fmt.Errorf("%w (round %d, %d nodes active)", ErrNoTermination, maxRounds, st.activeCount)
 		}
-		st.beginRound(round)
-		if cfg.Parallel {
-			st.parallelPhase(st.sendPhase)
-		} else {
-			st.sequentialPhase(st.sendPhase)
+		var start time.Time
+		if cfg.Stats != nil {
+			start = time.Now()
 		}
+		st.beginRound(round)
+		activeThisRound := st.activeCount
+		st.runPhase(st.sendFn)
 		if err := st.firstError(); err != nil {
 			return nil, err
 		}
 		st.route(res)
-		if cfg.Parallel {
-			st.parallelPhase(st.receivePhase)
-		} else {
-			st.sequentialPhase(st.receivePhase)
-		}
+		st.runPhase(st.receiveFn)
 		if err := st.firstError(); err != nil {
 			return nil, err
 		}
 		st.endRound(round, res)
+		if cfg.Stats != nil {
+			cfg.Stats(RoundStats{
+				Round:    round,
+				Duration: time.Since(start),
+				Messages: st.roundMsgs,
+				Bits:     st.roundBits,
+				Active:   activeThisRound,
+			})
+		}
 		if cfg.Observer != nil {
 			cfg.Observer(round, st.observedOutputs, st.observedActive)
 		}
+	}
+	res.MaxMsgBits = st.maxMsgBits
+	if st.localOnly {
+		res.MaxMsgBits = -1
 	}
 	return res, nil
 }
@@ -143,10 +191,15 @@ type state struct {
 	n    int
 	envs []*Env
 	mach []Machine
-	// idToIndex maps identifiers to node indices for routing.
-	idToIndex map[int]int
-	// neighborSet[i] is the set of neighbor IDs of node i for send validation.
-	neighborSet []map[int]bool
+	// nbIDs[i] is node i's neighbor identifiers, ascending; shared with
+	// NodeInfo.NeighborIDs. Send validation binary-searches it.
+	nbIDs [][]int
+	// nbIdx[i][k] is the node index of the neighbor with identifier
+	// nbIDs[i][k], so routing resolves destinations without a map.
+	nbIdx [][]int32
+	// senderOrder lists node indices in ascending-identifier order; route
+	// walks it so inboxes come out sorted by sender without a per-round sort.
+	senderOrder []int32
 	// active[i]: node participates this round (not terminated, not crashed).
 	active      []bool
 	activeCount int
@@ -154,12 +207,30 @@ type state struct {
 	crashedAt []int
 	// outboxes[i] holds node i's sends this round.
 	outboxes [][]Out
-	// inboxes[i] holds node i's deliveries this round.
+	// destIdx[i][k] is the resolved destination node index of outboxes[i][k],
+	// recorded during send validation and reused across rounds.
+	destIdx [][]int32
+	// inboxes[i] holds node i's deliveries this round; backing arrays are
+	// recycled across rounds (truncated, not nil'ed).
 	inboxes [][]Msg
 	// errs[i] records a per-node engine error (e.g. send to non-neighbor).
 	errs []error
 	// terminatedThisSend marks nodes that terminated during the send phase.
 	terminatedThisSend []bool
+	// pool is the persistent worker pool (Parallel mode only; nil otherwise).
+	pool *workerPool
+	// sendFn/receiveFn are the phase functions, bound once so the per-round
+	// phase dispatch does not allocate method-value closures.
+	sendFn    func(int)
+	receiveFn func(int)
+
+	// maxMsgBits/localOnly accumulate Result.MaxMsgBits: the largest sized
+	// payload seen (-1 before any), and whether an unsized payload was seen.
+	maxMsgBits int
+	localOnly  bool
+	// roundMsgs/roundBits accumulate the current round's Stats record.
+	roundMsgs int
+	roundBits int
 
 	observedOutputs []any
 	observedActive  []bool
@@ -172,30 +243,40 @@ func newState(cfg Config, g *graph.Graph, n int) *state {
 		n:                  n,
 		envs:               make([]*Env, n),
 		mach:               make([]Machine, n),
-		idToIndex:          make(map[int]int, n),
-		neighborSet:        make([]map[int]bool, n),
+		nbIDs:              make([][]int, n),
+		nbIdx:              make([][]int32, n),
+		senderOrder:        make([]int32, n),
 		active:             make([]bool, n),
 		crashedAt:          make([]int, n),
 		outboxes:           make([][]Out, n),
+		destIdx:            make([][]int32, n),
 		inboxes:            make([][]Msg, n),
 		errs:               make([]error, n),
 		terminatedThisSend: make([]bool, n),
+		maxMsgBits:         -1,
 		observedOutputs:    make([]any, n),
 		observedActive:     make([]bool, n),
 	}
+	st.sendFn = st.sendPhase
+	st.receiveFn = st.receivePhase
 	delta := g.MaxDegree()
 	for i := 0; i < n; i++ {
-		st.idToIndex[g.ID(i)] = i
+		st.senderOrder[i] = int32(i)
 	}
+	sort.Slice(st.senderOrder, func(a, b int) bool {
+		return g.ID(int(st.senderOrder[a])) < g.ID(int(st.senderOrder[b]))
+	})
 	for i := 0; i < n; i++ {
 		nbrs := g.Neighbors(i)
-		nbIDs := make([]int, len(nbrs))
-		nbSet := make(map[int]bool, len(nbrs))
-		for j, v := range nbrs {
+		idxs := make([]int32, len(nbrs))
+		copy(idxs, nbrs)
+		sort.Slice(idxs, func(a, b int) bool {
+			return g.ID(int(idxs[a])) < g.ID(int(idxs[b]))
+		})
+		nbIDs := make([]int, len(idxs))
+		for j, v := range idxs {
 			nbIDs[j] = g.ID(int(v))
-			nbSet[nbIDs[j]] = true
 		}
-		sort.Ints(nbIDs)
 		info := NodeInfo{
 			Index:       i,
 			ID:          g.ID(i),
@@ -210,7 +291,8 @@ func newState(cfg Config, g *graph.Graph, n int) *state {
 		}
 		st.envs[i] = &Env{info: info}
 		st.mach[i] = cfg.Factory(info, pred)
-		st.neighborSet[i] = nbSet
+		st.nbIDs[i] = nbIDs
+		st.nbIdx[i] = idxs
 		st.active[i] = true
 	}
 	st.activeCount = n
@@ -233,10 +315,29 @@ func (st *state) beginRound(round int) {
 		if st.active[i] {
 			st.envs[i].round = round
 		}
-		st.outboxes[i] = nil
-		st.inboxes[i] = nil
+		// Truncate rather than nil so backing arrays are reused; steady-state
+		// rounds allocate nothing in the engine.
+		st.outboxes[i] = st.outboxes[i][:0]
+		st.destIdx[i] = st.destIdx[i][:0]
+		st.inboxes[i] = st.inboxes[i][:0]
 		st.terminatedThisSend[i] = false
 	}
+}
+
+// searchIDs returns the position of id in the ascending slice a, or len(a)
+// if absent (caller re-checks the value). Hand-rolled so the send hot path
+// never allocates a comparison closure.
+func searchIDs(a []int, id int) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 func (st *state) sendPhase(i int) {
@@ -248,11 +349,15 @@ func (st *state) sendPhase(i int) {
 		st.errs[i] = err
 		return
 	}
+	nb := st.nbIDs[i]
+	dst := st.destIdx[i][:0]
 	for _, out := range st.outboxes[i] {
-		if !st.neighborSet[i][out.To] {
+		pos := searchIDs(nb, out.To)
+		if pos == len(nb) || nb[pos] != out.To {
 			st.errs[i] = fmt.Errorf("node %d sent to non-neighbor %d", st.envs[i].ID(), out.To)
 			return
 		}
+		dst = append(dst, st.nbIdx[i][pos])
 		if limit := st.cfg.MaxMessageBits; limit > 0 {
 			bs, ok := out.Payload.(BitSized)
 			if !ok || bs.Bits() < 0 {
@@ -267,6 +372,7 @@ func (st *state) sendPhase(i int) {
 			}
 		}
 	}
+	st.destIdx[i] = dst
 	if st.envs[i].terminated {
 		st.terminatedThisSend[i] = true
 	}
@@ -282,16 +388,20 @@ func (st *state) receivePhase(i int) {
 	}
 }
 
-// route delivers this round's messages. Inboxes are ordered by sender index
-// so both engine modes are byte-for-byte deterministic.
+// route delivers this round's messages. Senders are walked in ascending
+// identifier order, so each inbox is built already sorted by sender and both
+// engine modes are byte-for-byte deterministic.
 func (st *state) route(res *Result) {
-	for i := 0; i < st.n; i++ {
+	st.roundMsgs, st.roundBits = 0, 0
+	for _, si := range st.senderOrder {
+		i := int(si)
 		if !st.active[i] {
 			continue
 		}
-		from := st.envs[i].ID()
-		for _, out := range st.outboxes[i] {
-			j := st.idToIndex[out.To]
+		from := st.envs[i].info.ID
+		dsts := st.destIdx[i]
+		for k, out := range st.outboxes[i] {
+			j := int(dsts[k])
 			// Messages to nodes that already left the computation vanish; a
 			// node terminating during this round's send phase has, by the
 			// model, already assigned all outputs, so deliveries to it are
@@ -301,24 +411,22 @@ func (st *state) route(res *Result) {
 			}
 			st.inboxes[j] = append(st.inboxes[j], Msg{From: from, Payload: out.Payload})
 			res.Messages++
-			if res.MaxMsgBits >= 0 {
-				b := -1
-				if bs, ok := out.Payload.(BitSized); ok {
-					b = bs.Bits()
-				}
-				if b < 0 {
-					// An unsized (or wrapper-of-unsized) payload makes the
-					// run LOCAL-only.
-					res.MaxMsgBits = -1
-				} else if b > res.MaxMsgBits {
-					res.MaxMsgBits = b
+			st.roundMsgs++
+			b := -1
+			if bs, ok := out.Payload.(BitSized); ok {
+				b = bs.Bits()
+			}
+			if b < 0 {
+				// An unsized (or wrapper-of-unsized) payload makes the run
+				// LOCAL-only.
+				st.localOnly = true
+			} else {
+				st.roundBits += b
+				if b > st.maxMsgBits {
+					st.maxMsgBits = b
 				}
 			}
 		}
-	}
-	for j := 0; j < st.n; j++ {
-		inbox := st.inboxes[j]
-		sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
 	}
 }
 
@@ -348,42 +456,75 @@ func (st *state) firstError() error {
 	return nil
 }
 
-func (st *state) sequentialPhase(phase func(i int)) {
+// runPhase executes phase(i) for every node: on the persistent pool in
+// Parallel mode, inline otherwise.
+func (st *state) runPhase(phase func(int)) {
+	if st.pool != nil {
+		st.pool.run(phase)
+		return
+	}
 	for i := 0; i < st.n; i++ {
 		phase(i)
 	}
 }
 
-// parallelPhase executes phase(i) for all nodes on a goroutine pool with a
-// barrier: the call returns only once every node's phase has completed, which
-// realizes the synchronous round structure directly.
-func (st *state) parallelPhase(phase func(i int)) {
+// workerPool is a persistent pool of goroutines, created once per Run. Each
+// worker owns a fixed contiguous index range and blocks on its work channel
+// for the next phase function; run acts as the inter-phase barrier, which
+// realizes the synchronous round structure without spawning a goroutine wave
+// per phase per round.
+type workerPool struct {
+	work []chan func(int)
+	done chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > st.n {
-		workers = st.n
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		st.sequentialPhase(phase)
-		return
+		return nil
 	}
-	var wg sync.WaitGroup
-	chunk := (st.n + workers - 1) / workers
+	p := &workerPool{done: make(chan struct{}, workers)}
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > st.n {
-			hi = st.n
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				phase(i)
+		ch := make(chan func(int), 1)
+		p.work = append(p.work, ch)
+		go func(lo, hi int, ch chan func(int)) {
+			for phase := range ch {
+				for i := lo; i < hi; i++ {
+					phase(i)
+				}
+				p.done <- struct{}{}
 			}
-		}(lo, hi)
+		}(lo, hi, ch)
 	}
-	wg.Wait()
+	return p
+}
+
+// run executes phase on every worker's range and returns once all workers
+// have finished (the barrier).
+func (p *workerPool) run(phase func(int)) {
+	for _, ch := range p.work {
+		ch <- phase
+	}
+	for range p.work {
+		<-p.done
+	}
+}
+
+// close shuts the workers down; the pool must not be used afterwards.
+func (p *workerPool) close() {
+	for _, ch := range p.work {
+		close(ch)
+	}
 }

@@ -1,0 +1,163 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// ringBench is a minimal steady-state workload: every node broadcasts a
+// fixed sized payload to its neighbors for a set number of rounds, then
+// outputs how many messages it heard. The machine itself allocates nothing
+// per round (the outbox slice and the boxed payload are built once), so
+// benchmark and allocation numbers measure the engine, not the workload.
+type ringBench struct {
+	rounds int
+	outs   []runtime.Out
+	heard  int
+}
+
+type ringPayload struct{}
+
+func (ringPayload) Bits() int { return 8 }
+
+func ringBenchFactory(rounds int) runtime.Factory {
+	payload := any(ringPayload{})
+	return func(info runtime.NodeInfo, pred any) runtime.Machine {
+		m := &ringBench{rounds: rounds, outs: make([]runtime.Out, len(info.NeighborIDs))}
+		for i, nb := range info.NeighborIDs {
+			m.outs[i] = runtime.Out{To: nb, Payload: payload}
+		}
+		return m
+	}
+}
+
+func (m *ringBench) Send(env *runtime.Env) []runtime.Out {
+	if env.Round() > m.rounds {
+		env.Output(m.heard)
+		env.Terminate()
+		return nil
+	}
+	return m.outs
+}
+
+func (m *ringBench) Receive(env *runtime.Env, inbox []runtime.Msg) {
+	m.heard += len(inbox)
+}
+
+func runRing(tb testing.TB, g *graph.Graph, rounds int, parallel bool) *runtime.Result {
+	tb.Helper()
+	res, err := runtime.Run(runtime.Config{
+		Graph:     g,
+		Factory:   ringBenchFactory(rounds),
+		Parallel:  parallel,
+		MaxRounds: rounds + 8,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if res.Rounds != rounds+1 {
+		tb.Fatalf("rounds = %d, want %d", res.Rounds, rounds+1)
+	}
+	return res
+}
+
+// BenchmarkEngineThroughput measures raw engine round throughput on a
+// 4096-node ring: 64 message-bearing rounds per Run, both engine modes.
+// allocs/op divided by the round count is the per-round allocation figure
+// the ISSUE acceptance criterion tracks.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const n, rounds = 4096, 64
+	g := graph.Ring(n)
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{{"seq", false}, {"par", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runRing(b, g, rounds, mode.parallel)
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocBudget is the allocation-regression test: on a
+// 4096-node ring with a zero-alloc workload, the marginal cost of an extra
+// engine round must stay below a fixed allocation budget. Setup costs cancel
+// in the long-run-minus-short-run difference, leaving steady-state
+// allocs/round, which with buffer reuse is ~0 for the engine itself.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement; skipped with -short")
+	}
+	const n = 4096
+	g := graph.Ring(n)
+	measure := func(rounds int, parallel bool) float64 {
+		return testing.AllocsPerRun(3, func() {
+			runRing(t, g, rounds, parallel)
+		})
+	}
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+		budget   float64
+	}{
+		{"seq", false, 64},
+		// The pool barrier adds scheduling noise; allow more headroom.
+		{"par", true, 512},
+	} {
+		short := measure(10, mode.parallel)
+		long := measure(210, mode.parallel)
+		perRound := (long - short) / 200
+		t.Logf("%s: %.1f allocs over 10 rounds, %.1f over 210 -> %.3f allocs/round",
+			mode.name, short, long, perRound)
+		if perRound > mode.budget {
+			t.Errorf("%s: %.1f allocs/round exceeds budget %.0f", mode.name, perRound, mode.budget)
+		}
+	}
+}
+
+// TestRoundStatsHook exercises Config.Stats: one record per round, message
+// and bit totals consistent with the Result, wall time populated.
+func TestRoundStatsHook(t *testing.T) {
+	const n, rounds = 64, 5
+	g := graph.Ring(n)
+	var stats []runtime.RoundStats
+	res, err := runtime.Run(runtime.Config{
+		Graph:   g,
+		Factory: ringBenchFactory(rounds),
+		Stats:   func(s runtime.RoundStats) { stats = append(stats, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != res.Rounds {
+		t.Fatalf("%d stats records for %d rounds", len(stats), res.Rounds)
+	}
+	totalMsgs, totalBits := 0, 0
+	for i, s := range stats {
+		if s.Round != i+1 {
+			t.Errorf("record %d has round %d", i, s.Round)
+		}
+		if s.Duration < 0 {
+			t.Errorf("round %d: negative duration", s.Round)
+		}
+		if s.Active != n && s.Round <= rounds {
+			t.Errorf("round %d: active = %d, want %d", s.Round, s.Active, n)
+		}
+		totalMsgs += s.Messages
+		totalBits += s.Bits
+	}
+	if totalMsgs != res.Messages {
+		t.Errorf("stats messages total %d, result %d", totalMsgs, res.Messages)
+	}
+	if want := res.Messages * 8; totalBits != want {
+		t.Errorf("stats bits total %d, want %d", totalBits, want)
+	}
+	// Every delivered payload is sized at 8 bits.
+	if res.MaxMsgBits != 8 {
+		t.Errorf("MaxMsgBits = %d, want 8", res.MaxMsgBits)
+	}
+}

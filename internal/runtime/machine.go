@@ -8,8 +8,11 @@
 //
 // The engine offers two execution modes with identical semantics: a
 // sequential mode and a parallel mode that runs the per-node send and receive
-// phases on a pool of goroutines with a barrier between phases. Both modes
-// are deterministic and produce identical results; tests assert this.
+// phases on a persistent pool of goroutines (created once per run, signalled
+// each phase, with a barrier between phases). Both modes are deterministic
+// and produce identical results; tests assert this. Engine buffers (inboxes,
+// routing state) are recycled across rounds, so steady-state rounds allocate
+// nothing in the engine itself.
 //
 // Message sizes are accounted when payloads implement BitSized, allowing
 // CONGEST-model bandwidth checks for the algorithms that fit in O(log n) bits.
@@ -78,7 +81,10 @@ type Machine interface {
 	// are still delivered this round but Receive is skipped.
 	Send(env *Env) []Out
 	// Receive processes the messages delivered this round and updates state.
-	// It may call env.Output and env.Terminate.
+	// It may call env.Output and env.Terminate. The inbox slice is owned by
+	// the engine and reused across rounds; copy it (not just re-slice it) to
+	// retain messages beyond the call. Payload values themselves are never
+	// reused by the engine.
 	Receive(env *Env, inbox []Msg)
 }
 

@@ -387,10 +387,125 @@ func TestCongestEnforcement(t *testing.T) {
 }
 
 func TestCongestBudget(t *testing.T) {
-	if b := runtime.CongestBudget(1024, 1024); b != 4*11 {
-		t.Errorf("CongestBudget(1024) = %d, want 44", b)
+	// The budget is 4·⌈log₂(max(n,d))⌉ with a one-bit floor for m < 2.
+	cases := []struct{ m, want int }{
+		{1, 4},     // floor: one bit
+		{2, 4},     // ⌈log₂ 2⌉ = 1
+		{3, 8},     // ⌈log₂ 3⌉ = 2
+		{4, 8},     // ⌈log₂ 4⌉ = 2 (power of two: not 3)
+		{1023, 40}, // ⌈log₂ 1023⌉ = 10
+		{1024, 40}, // ⌈log₂ 1024⌉ = 10 (power of two: not 11)
+		{1025, 44}, // ⌈log₂ 1025⌉ = 11
 	}
-	if b := runtime.CongestBudget(2, 100000); b < 4*17 {
-		t.Errorf("CongestBudget uses max(n, d): got %d", b)
+	for _, c := range cases {
+		if b := runtime.CongestBudget(c.m, 1); b != c.want {
+			t.Errorf("CongestBudget(%d, 1) = %d, want %d", c.m, b, c.want)
+		}
+		// The budget depends on max(n, d) only: passing m as the id domain
+		// with a tiny n must agree.
+		if b := runtime.CongestBudget(1, c.m); b != c.want {
+			t.Errorf("CongestBudget(1, %d) = %d, want %d", c.m, b, c.want)
+		}
+	}
+	if b := runtime.CongestBudget(2, 100000); b != 4*17 {
+		t.Errorf("CongestBudget uses max(n, d): got %d, want 68", b)
+	}
+}
+
+func TestCrashRoundValidation(t *testing.T) {
+	g := graph.Line(3)
+	for _, bad := range []int{0, -1, -100} {
+		_, err := runtime.Run(runtime.Config{
+			Graph:   g,
+			Factory: echoFactory(2),
+			Crashes: map[int]int{1: bad},
+		})
+		if err == nil {
+			t.Errorf("crash round %d accepted; want config error", bad)
+		}
+	}
+	// Round 1 is the earliest legal crash: the node does nothing at all.
+	res, err := runtime.Run(runtime.Config{
+		Graph:   g,
+		Factory: echoFactory(2),
+		Crashes: map[int]int{1: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != nil || res.TerminatedAt[1] != 0 {
+		t.Errorf("round-1 crash: output %v at %d; want none", res.Outputs[1], res.TerminatedAt[1])
+	}
+}
+
+// silentMachine terminates in round 1 without sending anything.
+type silentMachine struct{}
+
+func (m *silentMachine) Send(env *runtime.Env) []runtime.Out {
+	env.Output("done")
+	env.Terminate()
+	return nil
+}
+
+func (m *silentMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {}
+
+func TestMaxMsgBitsZeroMessages(t *testing.T) {
+	// A run that delivers no messages has observed no sized payload; it must
+	// report -1 (unknown/LOCAL-only), not 0, which would wrongly claim every
+	// payload fit in zero bits.
+	res, err := runtime.Run(runtime.Config{
+		Graph:   graph.Line(3),
+		Factory: func(runtime.NodeInfo, any) runtime.Machine { return &silentMachine{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 0 {
+		t.Fatalf("messages = %d, want 0", res.Messages)
+	}
+	if res.MaxMsgBits != -1 {
+		t.Errorf("MaxMsgBits = %d, want -1 for a zero-message run", res.MaxMsgBits)
+	}
+}
+
+// TestRandomizedParityWithCrashes is the fuzz-style engine-parity test:
+// random G(n,p) topologies and random crash schedules must produce identical
+// rounds, outputs, and termination schedules in both engine modes.
+func TestRandomizedParityWithCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(56)
+		g := graph.GNP(n, 0.05+rng.Float64()*0.3, rng)
+		limit := 1 + rng.Intn(5)
+		crashes := map[int]int{}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.2 {
+				crashes[i] = 1 + rng.Intn(limit+2)
+			}
+		}
+		run := func(parallel bool) *runtime.Result {
+			res, err := runtime.Run(runtime.Config{
+				Graph:    g,
+				Factory:  echoFactory(limit),
+				Crashes:  crashes,
+				Parallel: parallel,
+			})
+			if err != nil {
+				t.Fatalf("trial %d parallel=%v: %v", trial, parallel, err)
+			}
+			return res
+		}
+		seq, par := run(false), run(true)
+		if seq.Rounds != par.Rounds || seq.Messages != par.Messages || seq.MaxMsgBits != par.MaxMsgBits {
+			t.Fatalf("trial %d: engines disagree: %+v vs %+v", trial, seq, par)
+		}
+		for i := range seq.Outputs {
+			if seq.Outputs[i] != par.Outputs[i] {
+				t.Fatalf("trial %d node %d: outputs differ: %v vs %v", trial, i, seq.Outputs[i], par.Outputs[i])
+			}
+			if seq.TerminatedAt[i] != par.TerminatedAt[i] {
+				t.Fatalf("trial %d node %d: terminated at %d vs %d", trial, i, seq.TerminatedAt[i], par.TerminatedAt[i])
+			}
+		}
 	}
 }

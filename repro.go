@@ -5,8 +5,9 @@
 //
 // The library provides:
 //
-//   - a deterministic synchronous round engine (one goroutine pool with a
-//     barrier per round, or a sequential mode with identical semantics);
+//   - a deterministic synchronous round engine (a persistent worker pool
+//     with a barrier per phase, or a sequential mode with identical
+//     semantics);
 //   - the paper's framework: base/initialization/clean-up algorithms,
 //     measure-uniform algorithms, and the four templates (Simple,
 //     Consecutive, Interleaved, Parallel) as generic combinators;
@@ -138,7 +139,7 @@ const Unmatched = predict.Unmatched
 
 // Options configures a run.
 type Options struct {
-	// Parallel selects the goroutine engine (identical results).
+	// Parallel selects the worker-pool engine (identical results).
 	Parallel bool
 	// MaxRounds caps the execution (0 = 8n+64).
 	MaxRounds int
@@ -163,8 +164,9 @@ type Result struct {
 	Rounds int
 	// Messages is the total number of messages delivered.
 	Messages int
-	// MaxMsgBits is the largest message in bits (-1 when a payload was not
-	// size-accounted, i.e. LOCAL-only).
+	// MaxMsgBits is the largest message in bits. It is -1 when no sized
+	// payload was observed: either a payload was not size-accounted
+	// (LOCAL-only) or the run delivered no messages at all.
 	MaxMsgBits int
 	// TerminatedAt is the termination round per node index.
 	TerminatedAt []int
