@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/bench"
+)
+
+// chaosProblem binds one problem to its prediction generator for the
+// degradation sweep.
+type chaosProblem struct {
+	name  string
+	prob  repro.Problem
+	preds func(g *repro.Graph, flips int, seed int64) []int
+}
+
+func chaosProblems() []chaosProblem {
+	return []chaosProblem{
+		{"MIS", repro.ProblemMIS, func(g *repro.Graph, flips int, seed int64) []int {
+			return repro.FlipBits(repro.PerfectMIS(g), flips, repro.NewRand(seed))
+		}},
+		{"matching", repro.ProblemMatching, func(g *repro.Graph, flips int, seed int64) []int {
+			return repro.PerturbMatching(g, repro.PerfectMatching(g), flips, repro.NewRand(seed))
+		}},
+		{"vertex coloring", repro.ProblemVColor, func(g *repro.Graph, flips int, seed int64) []int {
+			return repro.PerturbVColor(g, repro.PerfectVColor(g), flips, repro.NewRand(seed))
+		}},
+	}
+}
+
+// runChaosSweep regenerates the fault-rate × η degradation tables in
+// EXPERIMENTS.md: each problem's Simple Template runs under a seeded chaos
+// adversary and self-heals via RunWithRecovery; cells report the end-to-end
+// rounds (primary + recovery) and the carved residual that the healing run
+// had to re-decide. It lives in this command (not internal/bench) because it
+// drives the public recovery API.
+func runChaosSweep() error {
+	const (
+		n      = 120
+		p      = 0.06
+		trials = 3
+	)
+	rates := []float64{0, 0.1, 0.25, 0.5}
+	flipss := []int{0, 8, 32}
+
+	for pi, prob := range chaosProblems() {
+		t := &bench.Table{
+			ID:    fmt.Sprintf("CH%d", pi+1),
+			Title: fmt.Sprintf("chaos degradation, %s: GNP(%d, %.2f), Simple Template, self-healing, %d trials", prob.name, n, p, trials),
+		}
+		t.Columns = append(t.Columns, "fault rate")
+		for _, f := range flipss {
+			t.Columns = append(t.Columns, fmt.Sprintf("η=%d flips", f))
+		}
+		healedRuns := 0
+		for _, rate := range rates {
+			cells := []any{fmt.Sprintf("%.2f", rate)}
+			for _, flips := range flipss {
+				primary, recovery, residual := 0, 0, 0
+				for trial := 0; trial < trials; trial++ {
+					seed := int64(1000*pi + 100*trial + flips)
+					g := repro.GNP(n, p, repro.NewRand(seed))
+					preds := prob.preds(g, flips, seed+1)
+					// A modest cap cuts off primaries that drop faults have
+					// wedged (lost notifications break termination detection);
+					// the healing run uses the engine default.
+					opts := repro.Options{MaxRounds: 60}
+					if rate > 0 {
+						opts.Adversary = repro.NewChaos(repro.ChaosPolicy{
+							Seed:      seed + 2,
+							Drop:      rate,
+							Duplicate: rate / 2,
+							Crash:     rate / 4,
+						})
+					}
+					res, err := repro.RunWithRecovery(g, prob.prob, preds, opts)
+					if err != nil {
+						return fmt.Errorf("chaos sweep %s rate %.2f flips %d: %w", prob.name, rate, flips, err)
+					}
+					primary += res.PrimaryRounds
+					recovery += res.RecoveryRounds
+					residual += res.Residual
+					if res.Healed {
+						healedRuns++
+					}
+				}
+				cells = append(cells, fmt.Sprintf("%d+%d rds, %d res", primary/trials, recovery/trials, residual/trials))
+			}
+			t.AddRow(cells...)
+		}
+		t.Note("cells: mean primary+recovery rounds and mean carved residual; %d/%d runs healed", healedRuns, len(rates)*len(flipss)*trials)
+		t.Note("policy: drop=rate, duplicate=rate/2, crash=rate/4; corruption aborts template runs outright and is exercised by the recovery tests instead")
+		t.Render(os.Stdout)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 //	dgp-bench -list            # list experiment ids and titles
 //	dgp-bench -enginestats     # per-round engine instrumentation demo
 //	dgp-bench -enginestats -n 8192 -par
+//	dgp-bench -chaos           # fault-rate × η degradation sweep
 package main
 
 import (
@@ -35,6 +36,7 @@ func run() error {
 	exp := flag.String("exp", "", "run a single experiment id (e.g. E5)")
 	list := flag.Bool("list", false, "list experiments")
 	engineStats := flag.Bool("enginestats", false, "print per-round engine stats (Config.Stats) for a greedy-MIS ring run")
+	chaos := flag.Bool("chaos", false, "run the fault-rate × η degradation sweep (self-healing runs)")
 	n := flag.Int("n", 4096, "ring size for -enginestats")
 	par := flag.Bool("par", false, "use the worker-pool engine for -enginestats")
 	flag.Parse()
@@ -47,6 +49,9 @@ func run() error {
 	}
 	if *engineStats {
 		return runEngineStats(*n, *par)
+	}
+	if *chaos {
+		return runChaosSweep()
 	}
 	if *exp != "" {
 		e := bench.Find(*exp)

@@ -7,6 +7,7 @@
 //	dgp-run -problem mis -alg parallel -graph gnp -n 200 -p 0.05 -flips 10
 //	dgp-run -problem matching -alg simple -graph grid -n 144 -flips 4
 //	dgp-run -problem tree -alg simple -graph line -n 90 -flips 6 -show
+//	dgp-run -problem mis -graph gnp -n 150 -chaos 0.3 -heal
 package main
 
 import (
@@ -26,17 +27,20 @@ func main() {
 
 func run() error {
 	var (
-		problem = flag.String("problem", "mis", "mis | matching | vcolor | ecolor | tree")
-		alg     = flag.String("alg", "simple", "algorithm within the problem (see -help text per problem)")
-		gname   = flag.String("graph", "gnp", "gnp | grid | ring | line | tree | clique | star | wheel | paths")
-		n       = flag.Int("n", 100, "node count (side^2 for grid)")
-		p       = flag.Float64("p", 0.05, "edge probability for gnp")
-		flips   = flag.Int("flips", 0, "number of perturbed predictions")
-		seed    = flag.Int64("seed", 1, "seed for graphs, predictions, and seeded algorithms")
-		par     = flag.Bool("parallel", false, "use the goroutine engine")
-		show    = flag.Bool("show", false, "print the output vector")
-		trace   = flag.Bool("trace", false, "print a per-round trace (active node counts)")
-		congest = flag.Int("congest", 0, "enforce a CONGEST bit budget (0 = LOCAL)")
+		problem  = flag.String("problem", "mis", "mis | matching | vcolor | ecolor | tree")
+		alg      = flag.String("alg", "simple", "algorithm within the problem (see -help text per problem)")
+		gname    = flag.String("graph", "gnp", "gnp | grid | ring | line | tree | clique | star | wheel | paths")
+		n        = flag.Int("n", 100, "node count (side^2 for grid)")
+		p        = flag.Float64("p", 0.05, "edge probability for gnp")
+		flips    = flag.Int("flips", 0, "number of perturbed predictions")
+		seed     = flag.Int64("seed", 1, "seed for graphs, predictions, and seeded algorithms")
+		par      = flag.Bool("parallel", false, "use the goroutine engine")
+		show     = flag.Bool("show", false, "print the output vector")
+		trace    = flag.Bool("trace", false, "print a per-round trace (active node counts)")
+		congest  = flag.Int("congest", 0, "enforce a CONGEST bit budget (0 = LOCAL)")
+		chaos    = flag.Float64("chaos", 0, "fault rate r: drop r, duplicate r/2, corrupt r/4, crash r/4 per message/node")
+		heal     = flag.Bool("heal", false, "self-heal faulted runs (Options.Recover)")
+		deadline = flag.Duration("deadline", 0, "per-phase watchdog deadline (0 = off)")
 	)
 	flag.Parse()
 
@@ -65,7 +69,24 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown graph %q", *gname)
 	}
-	opts := repro.Options{Parallel: *par, Seed: *seed, CongestBits: *congest}
+	opts := repro.Options{
+		Parallel:      *par,
+		Seed:          *seed,
+		CongestBits:   *congest,
+		Recover:       *heal,
+		RoundDeadline: *deadline,
+	}
+	var adversary *repro.Chaos
+	if *chaos > 0 {
+		adversary = repro.NewChaos(repro.ChaosPolicy{
+			Seed:      *seed + 2,
+			Drop:      *chaos,
+			Duplicate: *chaos / 2,
+			Corrupt:   *chaos / 4,
+			Crash:     *chaos / 4,
+		})
+		opts.Adversary = adversary
+	}
 	if *trace {
 		last := -1
 		opts.OnRound = func(round, active int) {
@@ -76,20 +97,27 @@ func run() error {
 		}
 	}
 
+	var err error
 	switch *problem {
 	case "mis":
-		return runMIS(g, *alg, *flips, opts, *show)
+		err = runMIS(g, *alg, *flips, opts, *show)
 	case "matching":
-		return runMatching(g, *alg, *flips, opts, *show)
+		err = runMatching(g, *alg, *flips, opts, *show)
 	case "vcolor":
-		return runVColor(g, *alg, *flips, opts, *show)
+		err = runVColor(g, *alg, *flips, opts, *show)
 	case "ecolor":
-		return runEColor(g, *alg, *flips, opts, *show)
+		err = runEColor(g, *alg, *flips, opts, *show)
 	case "tree":
-		return runTree(g, *alg, *flips, opts, *show)
+		err = runTree(g, *alg, *flips, opts, *show)
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
 	}
+	if adversary != nil {
+		s := adversary.Stats()
+		fmt.Printf("chaos: dropped=%d duplicated=%d corrupted=%d failedLinks=%d crashed=%d\n",
+			s.Dropped, s.Duplicated, s.Corrupted, s.FailedLinks, s.Crashed)
+	}
+	return err
 }
 
 func isqrt(n int) int {

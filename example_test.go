@@ -89,3 +89,46 @@ func ExampleRunMatching() {
 	// Output:
 	// rounds: 2
 }
+
+// ExampleRunMIS_onRoundStats streams the engine's per-round instrumentation
+// (wall time, deliveries, payload bits) to library code via
+// Options.OnRoundStats.
+func ExampleRunMIS_onRoundStats() {
+	g := repro.Line(8)
+	var rounds, messages int
+	res, err := repro.RunMIS(g, repro.PerfectMIS(g), repro.MISSimple, repro.Options{
+		OnRoundStats: func(s repro.RoundStats) {
+			rounds++
+			messages += s.Messages
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("stats records == rounds:", rounds == res.Run.Rounds)
+	fmt.Println("per-round messages sum to total:", messages == res.Run.Messages)
+	// Output:
+	// stats records == rounds: true
+	// per-round messages sum to total: true
+}
+
+// ExampleRunWithRecovery heals a chaos-damaged MIS run: the faulted outputs
+// are carved into an extendable partial solution and the paper's clean-up
+// machinery extends it back to a verified maximal independent set.
+func ExampleRunWithRecovery() {
+	g := repro.GNP(40, 0.15, repro.NewRand(2))
+	res, err := repro.RunWithRecovery(g, repro.ProblemMIS, nil, repro.Options{
+		MaxRounds: 150,
+		Adversary: repro.NewChaos(repro.ChaosPolicy{Seed: 5, Drop: 0.45, Crash: 0.1}),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("verified solution:", len(res.Output) == g.N())
+	fmt.Println("healed:", res.Healed)
+	// Output:
+	// verified solution: true
+	// healed: true
+}

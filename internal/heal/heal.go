@@ -1,0 +1,326 @@
+// Package heal turns a faulted run's outputs back into a valid solution.
+//
+// A run under chaos (message loss, corruption, crashes, contained panics)
+// leaves behind a possibly-invalid, possibly-incomplete output vector. The
+// carving functions demote every output that cannot stand — invalid values,
+// conflicting pairs, decisions whose justification is gone — to
+// verify.Undecided, yielding an extendable partial solution in the paper's
+// Section 3 sense: some maximal/proper solution of the whole graph contains
+// it. RunRecovered then replays the paper's machinery on that partial
+// solution: the carved outputs are handed to the problem's Simple Template
+// as predictions, whose initialization (Section 4) keeps every decided node
+// — the one-round clean-up finds nothing to repair on an extendable partial
+// solution — and whose measure-uniform part extends the residual, so the
+// recovery cost is the degradation metric: rounds proportional to the
+// damage, not to the graph.
+package heal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/verify"
+)
+
+// CarveMIS reduces a damaged MIS output vector (entries outside {0, 1} mean
+// undecided) to an extendable partial MIS: conflicting 1–1 pairs are
+// demoted, undecided neighbors of surviving in-set nodes are closed to 0
+// (the Section 4 clean-up rule, applied centrally), and 0s with no in-set
+// neighbor are demoted. The result passes verify.MISPartialExtendable; the
+// returned residual lists the node indices left undecided.
+func CarveMIS(g *graph.Graph, out []int) (partial []int, residual []int) {
+	n := g.N()
+	partial = make([]int, n)
+	for v := 0; v < n; v++ {
+		partial[v] = verify.Undecided
+		if v < len(out) && (out[v] == 0 || out[v] == 1) {
+			partial[v] = out[v]
+		}
+	}
+	// Demote both endpoints of every in-set conflict.
+	var demote []int
+	for v := 0; v < n; v++ {
+		if partial[v] != 1 {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if partial[u] == 1 {
+				demote = append(demote, v, int(u))
+			}
+		}
+	}
+	for _, v := range demote {
+		partial[v] = verify.Undecided
+	}
+	// Clean-up: undecided neighbors of surviving in-set nodes are out.
+	for v := 0; v < n; v++ {
+		if partial[v] != 1 {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if partial[u] == verify.Undecided {
+				partial[u] = 0
+			}
+		}
+	}
+	// A 0 with no surviving in-set neighbor has lost its justification.
+	for v := 0; v < n; v++ {
+		if partial[v] != 0 {
+			continue
+		}
+		justified := false
+		for _, u := range g.Neighbors(v) {
+			if partial[u] == 1 {
+				justified = true
+				break
+			}
+		}
+		if !justified {
+			partial[v] = verify.Undecided
+		}
+	}
+	return partial, residualOf(partial)
+}
+
+// CarveMatching reduces a damaged matching output vector (partner
+// identifier per node, 0 for decided-unmatched, anything else invalid) to
+// an extendable partial matching: non-mutual or non-neighbor matches are
+// demoted, undecided nodes whose neighbors are all matched are closed to
+// unmatched (the clean-up rule), and unmatched decisions with a
+// not-yet-matched neighbor are demoted. Passes
+// verify.MatchingPartialExtendable.
+func CarveMatching(g *graph.Graph, out []int) (partial []int, residual []int) {
+	n := g.N()
+	partial = make([]int, n)
+	for v := 0; v < n; v++ {
+		partial[v] = verify.Undecided
+		if v >= len(out) {
+			continue
+		}
+		switch {
+		case out[v] == 0:
+			partial[v] = 0
+		case out[v] > 0:
+			u := g.IndexOfID(out[v])
+			if u >= 0 && g.HasEdge(v, u) && u < len(out) && out[u] == g.ID(v) {
+				partial[v] = out[v]
+			}
+		}
+	}
+	// Clean-up: an undecided node whose neighbors are all matched can only
+	// ever be unmatched.
+	for v := 0; v < n; v++ {
+		if partial[v] != verify.Undecided {
+			continue
+		}
+		all := true
+		for _, u := range g.Neighbors(v) {
+			if partial[u] <= 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			partial[v] = 0
+		}
+	}
+	// A decided-unmatched node next to an unmatched or undecided neighbor
+	// may yet be needed for maximality: demote it.
+	for v := 0; v < n; v++ {
+		if partial[v] != 0 {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if partial[u] <= 0 {
+				partial[v] = verify.Undecided
+				break
+			}
+		}
+	}
+	return partial, residualOf(partial)
+}
+
+// CarveVColor reduces a damaged (Δ+1)-coloring output vector to a proper
+// partial coloring: out-of-palette values and both endpoints of every
+// monochromatic edge are demoted. Passes verify.VColorPartial (every proper
+// partial (Δ+1)-coloring is extendable).
+func CarveVColor(g *graph.Graph, out []int) (partial []int, residual []int) {
+	n := g.N()
+	palette := g.MaxDegree() + 1
+	partial = make([]int, n)
+	for v := 0; v < n; v++ {
+		partial[v] = verify.Undecided
+		if v < len(out) && out[v] >= 1 && out[v] <= palette {
+			partial[v] = out[v]
+		}
+	}
+	var demote []int
+	for v := 0; v < n; v++ {
+		if partial[v] == verify.Undecided {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v && partial[u] == partial[v] {
+				demote = append(demote, v, int(u))
+			}
+		}
+	}
+	for _, v := range demote {
+		partial[v] = verify.Undecided
+	}
+	return partial, residualOf(partial)
+}
+
+func residualOf(partial []int) []int {
+	var res []int
+	for v, p := range partial {
+		if p == verify.Undecided {
+			res = append(res, v)
+		}
+	}
+	return res
+}
+
+// Spec describes one problem's recovery machinery for RunRecovered.
+type Spec struct {
+	// Verify accepts a complete output vector iff it is a valid solution.
+	Verify func(g *graph.Graph, out []int) error
+	// Carve reduces a damaged output vector to an extendable partial
+	// solution plus the residual (undecided node indices).
+	Carve func(g *graph.Graph, out []int) (partial, residual []int)
+	// HealFactory is the problem's Simple Template: fed the carved partial
+	// solution as predictions, its initialization keeps every decided node
+	// and its measure-uniform part extends the residual.
+	HealFactory runtime.Factory
+	// UndecidedPred is the prediction value standing in for an undecided
+	// node in the healing run (the problem's "no prediction" value).
+	UndecidedPred int
+	// HealMaxRounds caps the healing run (0 = engine default).
+	HealMaxRounds int
+}
+
+// Report is the outcome of RunRecovered.
+type Report struct {
+	// PrimaryErr is the primary run's error, if it aborted (contained
+	// panic, round deadline, no termination, protocol violation). The
+	// recovery then proceeds from the last observed outputs.
+	PrimaryErr error
+	// PrimaryRounds is the last round the primary run executed; equal to
+	// the primary Result's Rounds when it completed.
+	PrimaryRounds int
+	// PrimaryMessages counts the primary run's delivered messages.
+	PrimaryMessages int
+	// Valid reports whether the primary outputs already verified; no
+	// healing runs in that case.
+	Valid bool
+	// Healed reports that a healing run executed and its output verified.
+	Healed bool
+	// Residual is the number of undecided nodes after carving — the size of
+	// the re-solved subproblem.
+	Residual int
+	// RecoveryRounds and RecoveryMessages are the healing run's cost — the
+	// degradation metric (0 when Valid).
+	RecoveryRounds   int
+	RecoveryMessages int
+	// Output is the final, verified output vector.
+	Output []int
+}
+
+// TotalRounds is the end-to-end degradation metric: primary rounds plus
+// recovery rounds.
+func (r *Report) TotalRounds() int { return r.PrimaryRounds + r.RecoveryRounds }
+
+// RunRecovered executes cfg, validates its outputs with spec.Verify, and on
+// any damage — an invalid solution, or an aborted run — carves the last
+// observed outputs into an extendable partial solution and re-runs the
+// problem's Simple Template over it to heal. Crashed nodes are treated as
+// recovered in the healing run (chaos is transient): the healed solution
+// covers the whole graph. Config errors (a run that never started) are
+// returned as-is; a healing run that itself fails or produces an invalid
+// solution is an error.
+func RunRecovered(cfg runtime.Config, spec Spec) (*Report, error) {
+	g := cfg.Graph
+	if g == nil {
+		return nil, errors.New("heal: Config.Graph is required")
+	}
+	n := g.N()
+	snapshot := make([]any, n)
+	lastRound := 0
+	chain := cfg.Observer
+	cfg.Observer = func(round int, outputs []any, active []bool) {
+		lastRound = round
+		for i := range outputs {
+			// Record only settled outputs: a still-active node's partial
+			// output may yet change.
+			if active[i] {
+				snapshot[i] = nil
+			} else {
+				snapshot[i] = outputs[i]
+			}
+		}
+		if chain != nil {
+			chain(round, outputs, active)
+		}
+	}
+	res, err := runtime.Run(cfg)
+	if err != nil && errors.Is(err, runtime.ErrConfig) {
+		// The run never started: misconfiguration, not damage.
+		return nil, err
+	}
+	report := &Report{PrimaryErr: err, PrimaryRounds: lastRound}
+	raw := snapshot
+	if err == nil {
+		raw = res.Outputs
+		report.PrimaryRounds = res.Rounds
+		report.PrimaryMessages = res.Messages
+	}
+	outs := make([]int, n)
+	for i := 0; i < n; i++ {
+		outs[i] = verify.Undecided
+		if v, ok := raw[i].(int); ok {
+			outs[i] = v
+		}
+	}
+	if err == nil && spec.Verify(g, outs) == nil {
+		report.Valid = true
+		report.Output = outs
+		return report, nil
+	}
+	partial, residual := spec.Carve(g, outs)
+	report.Residual = len(residual)
+	preds := make([]any, n)
+	for i, p := range partial {
+		if p == verify.Undecided {
+			preds[i] = spec.UndecidedPred
+		} else {
+			preds[i] = p
+		}
+	}
+	healRes, healErr := runtime.Run(runtime.Config{
+		Graph:       g,
+		Factory:     spec.HealFactory,
+		Predictions: preds,
+		Parallel:    cfg.Parallel,
+		MaxRounds:   spec.HealMaxRounds,
+	})
+	if healErr != nil {
+		return nil, fmt.Errorf("heal: recovery run failed: %w", healErr)
+	}
+	healed := make([]int, n)
+	for i := 0; i < n; i++ {
+		healed[i] = verify.Undecided
+		if v, ok := healRes.Outputs[i].(int); ok {
+			healed[i] = v
+		}
+	}
+	if verr := spec.Verify(g, healed); verr != nil {
+		return nil, fmt.Errorf("heal: recovery produced an invalid solution: %w", verr)
+	}
+	report.Healed = true
+	report.RecoveryRounds = healRes.Rounds
+	report.RecoveryMessages = healRes.Messages
+	report.Output = healed
+	return report, nil
+}

@@ -1,0 +1,43 @@
+package runtime
+
+// Adversary is the engine's fault-injection hook (the chaos layer). A
+// non-nil Config.Adversary is consulted once per in-flight message during
+// routing and may drop it, deliver extra copies, or corrupt its payload; it
+// may also contribute a crash schedule merged with Config.Crashes.
+//
+// Determinism contract: the engine calls Crashes exactly once at the start
+// of Run and then calls Intercept from a single goroutine, in the engine's
+// routing order (senders by ascending identifier, each sender's outbox in
+// send order) — an order that is identical in sequential and pool mode. An
+// adversary that derives its decisions deterministically from that call
+// sequence (e.g. a seeded PRNG, see internal/runtime/fault) therefore
+// injects byte-for-byte identical faults in both engine modes. Because the
+// call sequence is consumed statefully, an adversary value is single-run:
+// create a fresh one per Run.
+type Adversary interface {
+	// Crashes returns a crash schedule for an n-node graph (node index to
+	// 1-based crash round), merged with Config.Crashes; when both specify a
+	// node, the earlier round wins. It may return nil. Entries must satisfy
+	// the same validity rules as Config.Crashes (index in [0, n), round
+	// >= 1); violations abort the run with a config error.
+	Crashes(n int) map[int]int
+	// Intercept returns the fate of one message about to be delivered in
+	// the given round. from and to are node identifiers. It is only called
+	// for messages that would otherwise be delivered (the destination is
+	// active), never for messages the model already discards.
+	Intercept(round, from, to int, payload Payload) Fate
+}
+
+// Fate is an adversary's verdict on one in-flight message.
+type Fate struct {
+	// Drop discards the message entirely; the remaining fields are ignored.
+	Drop bool
+	// Extra is the number of additional identical copies delivered
+	// immediately after the original (message duplication). Negative values
+	// are treated as zero.
+	Extra int
+	// Payload, when non-nil, replaces the delivered payload (corruption on
+	// the wire). Every delivered copy — and the engine's per-message bit
+	// accounting — uses the replacement.
+	Payload Payload
+}

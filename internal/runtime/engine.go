@@ -31,8 +31,20 @@ type Config struct {
 	// Crashes maps node index to the round (1-based) at the start of which
 	// the node crashes: from that round on it sends nothing, receives
 	// nothing, and never outputs. Used to exercise fault-tolerant parts.
-	// Crash rounds must be >= 1; zero or negative rounds are a config error.
+	// Crash rounds must be >= 1 and node indices must be in [0, Graph.N());
+	// anything else is a config error.
 	Crashes map[int]int
+	// Adversary, when non-nil, intercepts message routing and may contribute
+	// a crash schedule; see the Adversary interface for the determinism
+	// contract. Adversary state is consumed by the run: pass a fresh value
+	// per Run.
+	Adversary Adversary
+	// RoundDeadline, when positive, bounds the wall-clock time of each send
+	// and receive phase; a phase that exceeds it aborts the run with an
+	// ErrRoundDeadline diagnostic. The wedged phase goroutine cannot be
+	// killed and is abandoned, so a deadline abort is a terminal condition
+	// for the process's engine use, not a recoverable per-round event.
+	RoundDeadline time.Duration
 	// MaxMessageBits, when positive, enforces the CONGEST model: every
 	// payload must implement BitSized and report at most this many bits;
 	// violations abort the run. The conventional budget is O(log n) — see
@@ -89,9 +101,27 @@ type Result struct {
 // ErrNoTermination is returned when MaxRounds elapses with active nodes.
 var ErrNoTermination = errors.New("runtime: algorithm did not terminate within MaxRounds")
 
+// ErrConfig wraps every configuration-validation error from Run (nil graph
+// or factory, mismatched predictions, invalid crash schedules): the run
+// never started. Callers distinguishing misconfiguration from runtime
+// failure — e.g. the recovery wrapper, which can heal a damaged run but not
+// an impossible one — test errors.Is(err, ErrConfig).
+var ErrConfig = errors.New("runtime: invalid configuration")
+
 // ErrCongestViolation is returned when MaxMessageBits is set and a message
 // is unsized or too large for the CONGEST budget.
 var ErrCongestViolation = errors.New("runtime: CONGEST bandwidth violation")
+
+// ErrMachinePanic is returned when a machine's Send or Receive panics. The
+// panic is contained: it surfaces as a per-node error from Run (wrapping
+// this sentinel, with node, round, phase, and the panic value) and the
+// worker pool shuts down cleanly instead of crashing the process.
+var ErrMachinePanic = errors.New("runtime: machine panicked")
+
+// ErrRoundDeadline is returned when Config.RoundDeadline is set and a send
+// or receive phase exceeds it (a wedged machine). The returned error wraps
+// this sentinel and names the phase and round.
+var ErrRoundDeadline = errors.New("runtime: round deadline exceeded")
 
 // CongestBudget returns the conventional CONGEST message budget for an
 // n-node graph with identifier domain d: c·⌈log₂(max(n,d))⌉ bits with c = 4,
@@ -112,19 +142,36 @@ func CongestBudget(n, d int) int {
 // Run executes the algorithm to completion and returns the result.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Graph == nil {
-		return nil, errors.New("runtime: Config.Graph is required")
+		return nil, fmt.Errorf("%w: Config.Graph is required", ErrConfig)
 	}
 	if cfg.Factory == nil {
-		return nil, errors.New("runtime: Config.Factory is required")
+		return nil, fmt.Errorf("%w: Config.Factory is required", ErrConfig)
 	}
 	g := cfg.Graph
 	n := g.N()
 	if cfg.Predictions != nil && len(cfg.Predictions) != n {
-		return nil, fmt.Errorf("runtime: %d predictions for %d nodes", len(cfg.Predictions), n)
+		return nil, fmt.Errorf("%w: %d predictions for %d nodes", ErrConfig, len(cfg.Predictions), n)
 	}
-	for i, r := range cfg.Crashes {
-		if r < 1 {
-			return nil, fmt.Errorf("runtime: Config.Crashes[%d] = %d; crash rounds are 1-based and must be >= 1", i, r)
+	crashes := cfg.Crashes
+	if err := validCrashes(crashes, n, "Config.Crashes"); err != nil {
+		return nil, err
+	}
+	if cfg.Adversary != nil {
+		adv := cfg.Adversary.Crashes(n)
+		if err := validCrashes(adv, n, "Adversary.Crashes"); err != nil {
+			return nil, err
+		}
+		if len(adv) > 0 {
+			merged := make(map[int]int, len(crashes)+len(adv))
+			for i, r := range crashes {
+				merged[i] = r
+			}
+			for i, r := range adv {
+				if cur, ok := merged[i]; !ok || r < cur {
+					merged[i] = r
+				}
+			}
+			crashes = merged
 		}
 	}
 	maxRounds := cfg.MaxRounds
@@ -132,7 +179,7 @@ func Run(cfg Config) (*Result, error) {
 		maxRounds = 8*n + 64
 	}
 
-	st := newState(cfg, g, n)
+	st := newState(cfg, g, n, crashes)
 	if cfg.Parallel {
 		st.pool = newWorkerPool(n)
 		if st.pool != nil {
@@ -154,12 +201,16 @@ func Run(cfg Config) (*Result, error) {
 		}
 		st.beginRound(round)
 		activeThisRound := st.activeCount
-		st.runPhase(st.sendFn)
+		if err := st.phase(st.sendFn, round, "send"); err != nil {
+			return nil, err
+		}
 		if err := st.firstError(); err != nil {
 			return nil, err
 		}
-		st.route(res)
-		st.runPhase(st.receiveFn)
+		st.route(round, res)
+		if err := st.phase(st.receiveFn, round, "receive"); err != nil {
+			return nil, err
+		}
 		if err := st.firstError(); err != nil {
 			return nil, err
 		}
@@ -182,6 +233,19 @@ func Run(cfg Config) (*Result, error) {
 		res.MaxMsgBits = -1
 	}
 	return res, nil
+}
+
+// validCrashes checks a crash schedule: node indices in [0, n), rounds >= 1.
+func validCrashes(crashes map[int]int, n int, source string) error {
+	for i, r := range crashes {
+		if i < 0 || i >= n {
+			return fmt.Errorf("%w: %s[%d] = %d; node index out of range [0, %d)", ErrConfig, source, i, r, n)
+		}
+		if r < 1 {
+			return fmt.Errorf("%w: %s[%d] = %d; crash rounds are 1-based and must be >= 1", ErrConfig, source, i, r)
+		}
+	}
+	return nil
 }
 
 // state holds the engine's mutable execution state.
@@ -236,7 +300,7 @@ type state struct {
 	observedActive  []bool
 }
 
-func newState(cfg Config, g *graph.Graph, n int) *state {
+func newState(cfg Config, g *graph.Graph, n int, crashes map[int]int) *state {
 	st := &state{
 		cfg:                cfg,
 		g:                  g,
@@ -296,10 +360,8 @@ func newState(cfg Config, g *graph.Graph, n int) *state {
 		st.active[i] = true
 	}
 	st.activeCount = n
-	for i, r := range cfg.Crashes {
-		if i < 0 || i >= n {
-			continue
-		}
+	// Run has already validated the schedule (indices in range, rounds >= 1).
+	for i, r := range crashes {
 		st.crashedAt[i] = r
 	}
 	return st
@@ -340,11 +402,40 @@ func searchIDs(a []int, id int) int {
 	return lo
 }
 
+// callSend invokes machine i's Send with panic containment: a panic is
+// recorded as a per-node ErrMachinePanic instead of unwinding into the
+// engine (or a pool worker goroutine, which would crash the process).
+func (st *state) callSend(i int) (outs []Out, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.errs[i] = fmt.Errorf("%w: node %d, round %d, Send: %v",
+				ErrMachinePanic, st.envs[i].info.ID, st.envs[i].round, r)
+		}
+	}()
+	return st.mach[i].Send(st.envs[i]), true
+}
+
+// callReceive is callSend's Receive-phase counterpart.
+func (st *state) callReceive(i int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.errs[i] = fmt.Errorf("%w: node %d, round %d, Receive: %v",
+				ErrMachinePanic, st.envs[i].info.ID, st.envs[i].round, r)
+		}
+	}()
+	st.mach[i].Receive(st.envs[i], st.inboxes[i])
+	return true
+}
+
 func (st *state) sendPhase(i int) {
 	if !st.active[i] {
 		return
 	}
-	st.outboxes[i] = st.mach[i].Send(st.envs[i])
+	outs, ok := st.callSend(i)
+	if !ok {
+		return
+	}
+	st.outboxes[i] = outs
 	if err := st.envs[i].err; err != nil {
 		st.errs[i] = err
 		return
@@ -382,7 +473,9 @@ func (st *state) receivePhase(i int) {
 	if !st.active[i] || st.terminatedThisSend[i] {
 		return
 	}
-	st.mach[i].Receive(st.envs[i], st.inboxes[i])
+	if !st.callReceive(i) {
+		return
+	}
 	if err := st.envs[i].err; err != nil {
 		st.errs[i] = err
 	}
@@ -390,9 +483,13 @@ func (st *state) receivePhase(i int) {
 
 // route delivers this round's messages. Senders are walked in ascending
 // identifier order, so each inbox is built already sorted by sender and both
-// engine modes are byte-for-byte deterministic.
-func (st *state) route(res *Result) {
+// engine modes are byte-for-byte deterministic. This is also the adversary's
+// interception point: route runs on the engine's single main goroutine in
+// both modes, so a stateful adversary observes one deterministic call
+// sequence regardless of Config.Parallel.
+func (st *state) route(round int, res *Result) {
 	st.roundMsgs, st.roundBits = 0, 0
+	adv := st.cfg.Adversary
 	for _, si := range st.senderOrder {
 		i := int(si)
 		if !st.active[i] {
@@ -405,25 +502,42 @@ func (st *state) route(res *Result) {
 			// Messages to nodes that already left the computation vanish; a
 			// node terminating during this round's send phase has, by the
 			// model, already assigned all outputs, so deliveries to it are
-			// moot and are dropped as well.
+			// moot and are dropped as well. The adversary is consulted only
+			// for messages that survive these model-level rules.
 			if !st.active[j] || st.terminatedThisSend[j] {
 				continue
 			}
-			st.inboxes[j] = append(st.inboxes[j], Msg{From: from, Payload: out.Payload})
-			res.Messages++
-			st.roundMsgs++
+			payload := out.Payload
+			copies := 1
+			if adv != nil {
+				fate := adv.Intercept(round, from, st.envs[j].info.ID, payload)
+				if fate.Drop {
+					continue
+				}
+				if fate.Payload != nil {
+					payload = fate.Payload
+				}
+				if fate.Extra > 0 {
+					copies += fate.Extra
+				}
+			}
 			b := -1
-			if bs, ok := out.Payload.(BitSized); ok {
+			if bs, ok := payload.(BitSized); ok {
 				b = bs.Bits()
 			}
-			if b < 0 {
-				// An unsized (or wrapper-of-unsized) payload makes the run
-				// LOCAL-only.
-				st.localOnly = true
-			} else {
-				st.roundBits += b
-				if b > st.maxMsgBits {
-					st.maxMsgBits = b
+			for c := 0; c < copies; c++ {
+				st.inboxes[j] = append(st.inboxes[j], Msg{From: from, Payload: payload})
+				res.Messages++
+				st.roundMsgs++
+				if b < 0 {
+					// An unsized (or wrapper-of-unsized) payload makes the run
+					// LOCAL-only.
+					st.localOnly = true
+				} else {
+					st.roundBits += b
+					if b > st.maxMsgBits {
+						st.maxMsgBits = b
+					}
 				}
 			}
 		}
@@ -454,6 +568,32 @@ func (st *state) firstError() error {
 		}
 	}
 	return nil
+}
+
+// phase executes one send or receive phase, under the round deadline when
+// one is configured. On a deadline hit the phase goroutine is abandoned (a
+// wedged machine cannot be preempted) and the run aborts with a diagnostic;
+// pool workers that are not wedged drain normally when the deferred pool
+// close runs, so only the stuck machine's goroutine leaks — by design.
+func (st *state) phase(fn func(int), round int, name string) error {
+	if st.cfg.RoundDeadline <= 0 {
+		st.runPhase(fn)
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		st.runPhase(fn)
+	}()
+	timer := time.NewTimer(st.cfg.RoundDeadline)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("%w: %s phase of round %d ran past %v (%d nodes active); abandoning the run",
+			ErrRoundDeadline, name, round, st.cfg.RoundDeadline, st.activeCount)
+	}
 }
 
 // runPhase executes phase(i) for every node: on the persistent pool in

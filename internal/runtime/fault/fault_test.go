@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+type sized int
+
+func (s sized) Bits() int { return int(s) }
+
+// TestChaosDeterminism: two Chaos instances built from the same policy give
+// identical verdicts on the same call sequence — the property the engine
+// relies on for seq/pool parity.
+func TestChaosDeterminism(t *testing.T) {
+	policy := Policy{
+		Seed: 42, Drop: 0.2, Duplicate: 0.15, Corrupt: 0.1,
+		LinkFail: 0.1, Crash: 0.2,
+	}
+	a, b := New(policy), New(policy)
+	if ca, cb := a.Crashes(50), b.Crashes(50); !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("crash schedules differ: %v vs %v", ca, cb)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		round := 1 + rng.Intn(10)
+		from, to := 1+rng.Intn(20), 1+rng.Intn(20)
+		payload := sized(8 + rng.Intn(8))
+		fa := a.Intercept(round, from, to, payload)
+		fb := b.Intercept(round, from, to, payload)
+		if !reflect.DeepEqual(fa, fb) {
+			t.Fatalf("call %d: fates differ: %+v vs %+v", i, fa, fb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	s := a.Stats()
+	if s.Dropped == 0 || s.Duplicated == 0 || s.Corrupted == 0 {
+		t.Fatalf("expected every enabled fault shape to fire over 2000 calls: %+v", s)
+	}
+}
+
+func TestChaosCrashesValid(t *testing.T) {
+	c := New(Policy{Seed: 3, Crash: 0.5, CrashBy: 4})
+	sched := c.Crashes(100)
+	if len(sched) == 0 {
+		t.Fatal("expected some crashes at rate 0.5")
+	}
+	for i, r := range sched {
+		if i < 0 || i >= 100 {
+			t.Fatalf("crash index %d out of range", i)
+		}
+		if r < 1 || r > 4 {
+			t.Fatalf("crash round %d outside [1, 4]", r)
+		}
+	}
+	if c.Stats().Crashed != len(sched) {
+		t.Fatalf("Crashed stat %d != schedule size %d", c.Stats().Crashed, len(sched))
+	}
+}
+
+// TestLinkFailurePermanent: once a link fails, every later message on it —
+// in both directions — is dropped.
+func TestLinkFailurePermanent(t *testing.T) {
+	c := New(Policy{Seed: 1, LinkFail: 1.0, LinkFailBy: 3})
+	// Probe the link until past its failure round.
+	failed := -1
+	for round := 1; round <= 4; round++ {
+		fate := c.Intercept(round, 5, 9, sized(4))
+		if fate.Drop && failed == -1 {
+			failed = round
+		}
+		if failed != -1 && !fate.Drop {
+			t.Fatalf("link healed at round %d after failing at %d", round, failed)
+		}
+	}
+	if failed == -1 || failed > 3 {
+		t.Fatalf("link should have failed by round 3, failed at %d", failed)
+	}
+	// Reverse direction shares the link's fate.
+	if !(c.Intercept(4, 9, 5, sized(4)).Drop) {
+		t.Fatal("reverse direction not affected by link failure")
+	}
+	if c.Stats().FailedLinks != 1 {
+		t.Fatalf("FailedLinks = %d, want 1", c.Stats().FailedLinks)
+	}
+}
+
+func TestGarbagePreservesBits(t *testing.T) {
+	c := New(Policy{Seed: 2, Corrupt: 1.0})
+	fate := c.Intercept(1, 1, 2, sized(13))
+	g, ok := fate.Payload.(Garbage)
+	if !ok {
+		t.Fatalf("expected Garbage payload, got %T", fate.Payload)
+	}
+	if g.Bits() != 13 {
+		t.Fatalf("Garbage.Bits() = %d, want 13 (size-preserving)", g.Bits())
+	}
+	// Unsized payloads pass through uncorrupted.
+	if fate := c.Intercept(1, 1, 2, "local-only"); fate.Payload != nil {
+		t.Fatalf("unsized payload corrupted: %+v", fate)
+	}
+}
+
+// Compile-time check: Chaos satisfies the engine's Adversary interface.
+var _ runtime.Adversary = (*Chaos)(nil)

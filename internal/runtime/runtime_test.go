@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/runtime"
+	"repro/internal/runtime/fault"
 )
 
 // echoMachine broadcasts its round number until a limit, then outputs the
@@ -496,6 +497,71 @@ func TestRandomizedParityWithCrashes(t *testing.T) {
 			return res
 		}
 		seq, par := run(false), run(true)
+		if seq.Rounds != par.Rounds || seq.Messages != par.Messages || seq.MaxMsgBits != par.MaxMsgBits {
+			t.Fatalf("trial %d: engines disagree: %+v vs %+v", trial, seq, par)
+		}
+		for i := range seq.Outputs {
+			if seq.Outputs[i] != par.Outputs[i] {
+				t.Fatalf("trial %d node %d: outputs differ: %v vs %v", trial, i, seq.Outputs[i], par.Outputs[i])
+			}
+			if seq.TerminatedAt[i] != par.TerminatedAt[i] {
+				t.Fatalf("trial %d node %d: terminated at %d vs %d", trial, i, seq.TerminatedAt[i], par.TerminatedAt[i])
+			}
+		}
+	}
+}
+
+// TestRandomizedAdversaryParity extends the parity fuzz with randomized
+// chaos policies (drop/duplicate/corrupt/link-fail/crash): for every policy
+// the two engine modes must produce byte-for-byte identical results —
+// including identical error surfaces when machines reject corrupted
+// payloads — and the adversary must inject the identical fault sequence.
+func TestRandomizedAdversaryParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(46)
+		g := graph.GNP(n, 0.05+rng.Float64()*0.3, rng)
+		limit := 1 + rng.Intn(5)
+		policy := fault.Policy{
+			Seed:      rng.Int63(),
+			Drop:      rng.Float64() * 0.3,
+			Duplicate: rng.Float64() * 0.3,
+			Corrupt:   rng.Float64() * 0.3,
+			LinkFail:  rng.Float64() * 0.2,
+			Crash:     rng.Float64() * 0.2,
+		}
+		// Half the trials use a machine that fails on corrupted payloads, so
+		// the fuzz also covers per-node error parity across modes.
+		factory := echoFactory(limit)
+		if trial%2 == 0 {
+			factory = func(info runtime.NodeInfo, pred any) runtime.Machine {
+				return &fragileMachine{echoMachine{limit: limit}}
+			}
+		}
+		run := func(parallel bool) (*runtime.Result, error, fault.Stats) {
+			chaos := fault.New(policy)
+			res, err := runtime.Run(runtime.Config{
+				Graph:     g,
+				Factory:   factory,
+				Parallel:  parallel,
+				Adversary: chaos,
+			})
+			return res, err, chaos.Stats()
+		}
+		seq, seqErr, seqStats := run(false)
+		par, parErr, parStats := run(true)
+		if seqStats != parStats {
+			t.Fatalf("trial %d: fault sequences differ across modes: %+v vs %+v", trial, seqStats, parStats)
+		}
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("trial %d: error surfaces differ: %v vs %v", trial, seqErr, parErr)
+		}
+		if seqErr != nil {
+			if seqErr.Error() != parErr.Error() {
+				t.Fatalf("trial %d: errors differ:\n  seq: %v\n  par: %v", trial, seqErr, parErr)
+			}
+			continue
+		}
 		if seq.Rounds != par.Rounds || seq.Messages != par.Messages || seq.MaxMsgBits != par.MaxMsgBits {
 			t.Fatalf("trial %d: engines disagree: %+v vs %+v", trial, seq, par)
 		}

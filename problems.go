@@ -103,6 +103,13 @@ func RunMIS(g *Graph, preds []int, alg MISAlgorithm, opts Options) (*MISResult, 
 		// O(n)-algorithm default cap on small dense graphs.
 		opts.MaxRounds = mis.UniformMaxRounds(runtime.NodeInfo{N: g.N(), D: g.D(), Delta: g.MaxDegree()})
 	}
+	if opts.Recover {
+		rr, err := runRecovered(g, factory, intPreds(preds), opts, misHealSpec())
+		if err != nil {
+			return nil, err
+		}
+		return &MISResult{Run: rr.asResult(), InSet: rr.Output}, nil
+	}
 	raw, err := runAndCollect(g, factory, intPreds(preds), opts)
 	if err != nil {
 		return nil, err
@@ -127,6 +134,13 @@ func RunMIS(g *Graph, preds []int, alg MISAlgorithm, opts Options) (*MISResult, 
 // predictions only through the initialization; λ ≥ 1 matches the Greedy
 // algorithm's worst-case needs.
 func RunMISTradeoff(g *Graph, preds []int, lambda float64, opts Options) (*MISResult, error) {
+	if opts.Recover {
+		rr, err := runRecovered(g, mis.ConsecutiveTradeoff(lambda, opts.Seed), intPreds(preds), opts, misHealSpec())
+		if err != nil {
+			return nil, err
+		}
+		return &MISResult{Run: rr.asResult(), InSet: rr.Output}, nil
+	}
 	raw, err := runAndCollect(g, mis.ConsecutiveTradeoff(lambda, opts.Seed), intPreds(preds), opts)
 	if err != nil {
 		return nil, err
@@ -177,6 +191,15 @@ func RunTreeMIS(r *Rooted, preds []int, alg TreeMISAlgorithm, opts Options) (*MI
 		factory = tree.ConsecutiveColoring(r)
 	default:
 		return nil, fmt.Errorf("repro: unknown tree MIS algorithm %d", alg)
+	}
+	if opts.Recover {
+		// The healing run uses the general MIS Simple Template: MIS on the
+		// underlying graph is what the tree algorithms compute too.
+		rr, err := runRecovered(r.G, factory, intPreds(preds), opts, misHealSpec())
+		if err != nil {
+			return nil, err
+		}
+		return &MISResult{Run: rr.asResult(), InSet: rr.Output}, nil
 	}
 	raw, err := runAndCollect(r.G, factory, intPreds(preds), opts)
 	if err != nil {
@@ -246,6 +269,13 @@ func RunMatching(g *Graph, preds []int, alg MatchingAlgorithm, opts Options) (*M
 		}
 	default:
 		return nil, fmt.Errorf("repro: unknown matching algorithm %d", alg)
+	}
+	if opts.Recover {
+		rr, err := runRecovered(g, factory, intPreds(preds), opts, matchingHealSpec())
+		if err != nil {
+			return nil, err
+		}
+		return &MatchingResult{Run: rr.asResult(), Partner: rr.Output}, nil
 	}
 	raw, err := runAndCollect(g, factory, intPreds(preds), opts)
 	if err != nil {
@@ -320,6 +350,13 @@ func RunVColor(g *Graph, preds []int, alg VColorAlgorithm, opts Options) (*VColo
 	default:
 		return nil, fmt.Errorf("repro: unknown vertex-coloring algorithm %d", alg)
 	}
+	if opts.Recover {
+		rr, err := runRecovered(g, factory, intPreds(preds), opts, vcolorHealSpec())
+		if err != nil {
+			return nil, err
+		}
+		return &VColorResult{Run: rr.asResult(), Color: rr.Output}, nil
+	}
 	raw, err := runAndCollect(g, factory, intPreds(preds), opts)
 	if err != nil {
 		return nil, err
@@ -384,6 +421,11 @@ func RunEColor(g *Graph, preds []EdgePrediction, alg EColorAlgorithm, opts Optio
 		}
 	default:
 		return nil, fmt.Errorf("repro: unknown edge-coloring algorithm %d", alg)
+	}
+	if opts.Recover {
+		// Edge-coloring outputs are per-node vectors; the int-vector carving
+		// machinery does not apply.
+		return nil, fmt.Errorf("repro: Options.Recover is not supported for edge coloring")
 	}
 	var anyPreds []any
 	if preds != nil {

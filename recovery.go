@@ -1,0 +1,152 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/heal"
+	"repro/internal/matching"
+	"repro/internal/mis"
+	"repro/internal/runtime"
+	"repro/internal/vcolor"
+	"repro/internal/verify"
+)
+
+// Problem names a problem for RunWithRecovery.
+type Problem int
+
+// The problems with a recovery path. Their outputs are int vectors — MIS
+// bit, partner identifier (Unmatched for none), or color — which is what
+// the carving step operates on.
+const (
+	// ProblemMIS is maximal independent set.
+	ProblemMIS Problem = iota + 1
+	// ProblemMatching is maximal matching.
+	ProblemMatching
+	// ProblemVColor is (Δ+1)-vertex coloring.
+	ProblemVColor
+)
+
+// RecoveryResult reports a self-healing run: the faulted primary run, the
+// damage found, and the healing run's cost — the paper-style degradation
+// metric (recovery rounds proportional to the damage, not the graph).
+type RecoveryResult struct {
+	// PrimaryErr is the primary run's error when it aborted — a contained
+	// machine panic, a round-deadline hit, no termination, or a protocol
+	// violation (e.g. corrupted payloads rejected by a template machine).
+	// Recovery then proceeded from the last observed outputs. Nil when the
+	// primary run completed.
+	PrimaryErr error
+	// Valid reports that the primary outputs verified as-is; no healing ran.
+	Valid bool
+	// Healed reports that a healing run executed and its output verified.
+	Healed bool
+	// Residual is the number of nodes the healing run had to re-decide
+	// after carving (0 when Valid).
+	Residual int
+	// PrimaryRounds is the last round the primary run executed.
+	PrimaryRounds int
+	// PrimaryMessages counts the primary run's delivered messages.
+	PrimaryMessages int
+	// RecoveryRounds and RecoveryMessages are the healing run's cost — the
+	// degradation metric (0 when Valid).
+	RecoveryRounds   int
+	RecoveryMessages int
+	// Output is the final verified output vector: MIS bits, partner
+	// identifiers, or colors, by node index.
+	Output []int
+}
+
+// TotalRounds is the end-to-end cost: primary rounds plus recovery rounds.
+func (r *RecoveryResult) TotalRounds() int { return r.PrimaryRounds + r.RecoveryRounds }
+
+// problemSpec returns the recovery machinery and the default primary
+// factory (the problem's Simple Template) for a problem.
+func problemSpec(p Problem) (heal.Spec, runtime.Factory, error) {
+	switch p {
+	case ProblemMIS:
+		return misHealSpec(), mis.SimpleGreedy(), nil
+	case ProblemMatching:
+		return matchingHealSpec(), matching.SimpleGreedy(), nil
+	case ProblemVColor:
+		return vcolorHealSpec(), vcolor.SimpleGreedy(), nil
+	default:
+		return heal.Spec{}, nil, fmt.Errorf("repro: unknown problem %d", p)
+	}
+}
+
+func misHealSpec() heal.Spec {
+	return heal.Spec{
+		Verify:        verify.MIS,
+		Carve:         heal.CarveMIS,
+		HealFactory:   mis.SimpleGreedy(),
+		UndecidedPred: 0,
+	}
+}
+
+func matchingHealSpec() heal.Spec {
+	return heal.Spec{
+		Verify:        verify.Matching,
+		Carve:         heal.CarveMatching,
+		HealFactory:   matching.SimpleGreedy(),
+		UndecidedPred: Unmatched,
+	}
+}
+
+func vcolorHealSpec() heal.Spec {
+	return heal.Spec{
+		Verify:        verify.VColor,
+		Carve:         heal.CarveVColor,
+		HealFactory:   vcolor.SimpleGreedy(),
+		UndecidedPred: 0,
+	}
+}
+
+// RunWithRecovery executes the problem's Simple Template on g under the
+// options' fault knobs (Adversary, Crashes, RoundDeadline) and self-heals:
+// if the run aborts or produces an invalid solution, the damaged outputs
+// are carved down to an extendable partial solution (invalid values,
+// conflicting pairs, and unjustified decisions demoted) and the Simple
+// Template is re-run with the carved partial solution as predictions — the
+// paper's Section 4 initialization keeps every decided node and the
+// measure-uniform part extends the residual. The returned output always
+// verifies; crashed nodes are treated as recovered in the healing run
+// (chaos is transient). Configuration errors are returned, not healed.
+func RunWithRecovery(g *Graph, problem Problem, preds []int, opts Options) (*RecoveryResult, error) {
+	spec, factory, err := problemSpec(problem)
+	if err != nil {
+		return nil, err
+	}
+	return runRecovered(g, factory, intPreds(preds), opts, spec)
+}
+
+// runRecovered is the engine-level recovery path shared by RunWithRecovery
+// and the Options.Recover flag on the Run* entry points.
+func runRecovered(g *Graph, factory runtime.Factory, preds []any, opts Options, spec heal.Spec) (*RecoveryResult, error) {
+	cfg := buildConfig(g, factory, preds, opts)
+	report, err := heal.RunRecovered(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &RecoveryResult{
+		PrimaryErr:       report.PrimaryErr,
+		Valid:            report.Valid,
+		Healed:           report.Healed,
+		Residual:         report.Residual,
+		PrimaryRounds:    report.PrimaryRounds,
+		PrimaryMessages:  report.PrimaryMessages,
+		RecoveryRounds:   report.RecoveryRounds,
+		RecoveryMessages: report.RecoveryMessages,
+		Output:           report.Output,
+	}, nil
+}
+
+// asResult condenses a recovery into the Run*-style metrics: total rounds
+// and messages across primary and healing runs. TerminatedAt is nil and
+// MaxMsgBits -1 (per-run detail does not compose across the two runs).
+func (r *RecoveryResult) asResult() Result {
+	return Result{
+		Rounds:     r.TotalRounds(),
+		Messages:   r.PrimaryMessages + r.RecoveryMessages,
+		MaxMsgBits: -1,
+	}
+}

@@ -29,10 +29,12 @@ package repro
 
 import (
 	"math/rand"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/predict"
 	"repro/internal/runtime"
+	"repro/internal/runtime/fault"
 	"repro/internal/tree"
 )
 
@@ -156,7 +158,60 @@ type Options struct {
 	// round number and the count of still-active nodes — a lightweight trace
 	// hook for progress visualization.
 	OnRound func(round, active int)
+	// OnRoundStats, when non-nil, receives the engine's per-round
+	// instrumentation record (wall time, deliveries, payload bits, active
+	// nodes). Purely observational.
+	OnRoundStats func(RoundStats)
+	// Adversary, when non-nil, injects faults into message routing and may
+	// crash nodes; see NewChaos for the seeded policy implementation. An
+	// adversary value is consumed by the run — pass a fresh one per call.
+	Adversary Adversary
+	// RoundDeadline, when positive, aborts the run with a diagnostic error
+	// if any send or receive phase exceeds it (a watchdog against wedged
+	// machines).
+	RoundDeadline time.Duration
+	// Recover makes the Run* entry points self-healing: instead of failing
+	// on an invalid or aborted faulted run, they carve the damaged outputs
+	// into an extendable partial solution and re-run the problem's clean-up
+	// machinery to extend it (see RunWithRecovery for the detailed report).
+	// Supported for MIS (including trees), matching, and vertex coloring.
+	Recover bool
 }
+
+// Engine and chaos types re-exported for library users.
+type (
+	// RoundStats is the engine's per-round instrumentation record.
+	RoundStats = runtime.RoundStats
+	// Adversary is the engine's fault-injection hook.
+	Adversary = runtime.Adversary
+	// Fate is an adversary's verdict on one in-flight message.
+	Fate = runtime.Fate
+	// ChaosPolicy is a seeded fault policy: per-message drop, duplication,
+	// and corruption probabilities, per-link failure and per-node crash
+	// probabilities, and the rounds by which they strike.
+	ChaosPolicy = fault.Policy
+	// ChaosStats counts the faults a chaos adversary actually injected.
+	ChaosStats = fault.Stats
+	// Chaos is the seeded adversary implementing a ChaosPolicy. Single-run.
+	Chaos = fault.Chaos
+)
+
+// NewChaos returns a fresh seeded adversary for one run: the same policy
+// reproduces the same fault schedule exactly, in both engine modes.
+func NewChaos(p ChaosPolicy) *Chaos { return fault.New(p) }
+
+// Engine error sentinels, for errors.Is on failed runs.
+var (
+	// ErrNoTermination: the algorithm exceeded MaxRounds.
+	ErrNoTermination = runtime.ErrNoTermination
+	// ErrCongestViolation: a message broke the CongestBits budget.
+	ErrCongestViolation = runtime.ErrCongestViolation
+	// ErrMachinePanic: a node's Send or Receive panicked; the panic was
+	// contained and surfaced as this per-node error.
+	ErrMachinePanic = runtime.ErrMachinePanic
+	// ErrRoundDeadline: a phase exceeded Options.RoundDeadline.
+	ErrRoundDeadline = runtime.ErrRoundDeadline
+)
 
 // Result carries the run metrics shared by all problems.
 type Result struct {
@@ -172,7 +227,7 @@ type Result struct {
 	TerminatedAt []int
 }
 
-func runAndCollect(g *Graph, factory runtime.Factory, preds []any, opts Options) (*runtime.Result, error) {
+func buildConfig(g *Graph, factory runtime.Factory, preds []any, opts Options) runtime.Config {
 	var observer func(round int, outputs []any, active []bool)
 	if opts.OnRound != nil {
 		observer = func(round int, outputs []any, active []bool) {
@@ -185,7 +240,7 @@ func runAndCollect(g *Graph, factory runtime.Factory, preds []any, opts Options)
 			opts.OnRound(round, count)
 		}
 	}
-	return runtime.Run(runtime.Config{
+	return runtime.Config{
 		Graph:          g,
 		Factory:        factory,
 		Predictions:    preds,
@@ -194,7 +249,14 @@ func runAndCollect(g *Graph, factory runtime.Factory, preds []any, opts Options)
 		Crashes:        opts.Crashes,
 		MaxMessageBits: opts.CongestBits,
 		Observer:       observer,
-	})
+		Stats:          opts.OnRoundStats,
+		Adversary:      opts.Adversary,
+		RoundDeadline:  opts.RoundDeadline,
+	}
+}
+
+func runAndCollect(g *Graph, factory runtime.Factory, preds []any, opts Options) (*runtime.Result, error) {
+	return runtime.Run(buildConfig(g, factory, preds, opts))
 }
 
 func baseResult(r *runtime.Result) Result {
