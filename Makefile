@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race lint fmt vet fuzz-smoke all
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runtime/ ./internal/core/
+
+# Domain analyzers (internal/analysis, driven by cmd/dgp-lint): map-order
+# determinism, seeded randomness, machine purity, CONGEST payload sizing,
+# and sentinel error wrapping. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/dgp-lint ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+# Brief coverage-guided runs of the committed fuzz targets; the seed corpora
+# under testdata/fuzz always run as part of `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/runtime -run '^$$' -fuzz FuzzAdversaryParity -fuzztime 30s
+	$(GO) test ./internal/heal -run '^$$' -fuzz FuzzCarve -fuzztime 30s

@@ -1,0 +1,125 @@
+// Package analysistest is a golden-file test harness for the dgp-lint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest: fixture
+// packages live under testdata/src (their own module, so `go list` resolves
+// them offline), and expectations are written next to the code they
+// describe as
+//
+//	code() // want "regexp"
+//
+// Every diagnostic must be matched by a want on its line, and every want
+// must be matched by a diagnostic; lintdirective diagnostics (malformed or
+// unused //lint:allow) participate like any other, so suppression behaviour
+// is testable in fixtures too.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one parsed want pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages (import paths relative to testdata/src)
+// and checks analyzer a's diagnostics against the want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcdir, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := load.Load(srcdir, pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(loaded) == 0 {
+		t.Fatalf("no fixture packages matched %v under %s", pkgs, srcdir)
+	}
+	diags, err := analysis.RunPackages(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	expects := collectWants(t, loaded)
+	for _, d := range diags {
+		if !matchWant(expects, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkgs []*load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					out = append(out, parseWant(t, pkg, c)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, pkg *load.Package, c *ast.Comment) []*expectation {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, q := range quotedRE.FindAllString(m[1], -1) {
+		var pat string
+		if q[0] == '`' {
+			pat = q[1 : len(q)-1]
+		} else {
+			var err error
+			pat, err = strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+	}
+	return out
+}
+
+func matchWant(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.pattern.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package bitsize_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bitsize"
+)
+
+func TestBitSize(t *testing.T) {
+	analysistest.Run(t, "../testdata", bitsize.Analyzer, "fixtures/payloads")
+}

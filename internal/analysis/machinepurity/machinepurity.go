@@ -1,0 +1,232 @@
+// Package machinepurity enforces the LOCAL model on machine code: a node's
+// Send/Receive may touch per-node state only. The engine runs machines on a
+// persistent worker pool, so a machine that writes state captured from an
+// enclosing scope, or reaches for sync/atomic/channel primitives, is not
+// just a model violation — it is a data race.
+//
+// Checked functions: methods named Send or Receive whose first parameter is
+// a *Env or *StageCtx (the runtime.Machine and core.StageMachine
+// contracts), including any function literals declared inside them, and
+// function literals passed as Factory/StageFactory/MemoryFactory arguments
+// (factories run once on the main goroutine, so only concurrency
+// primitives — not captured-state writes — are flagged there).
+package machinepurity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the machinepurity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "machinepurity",
+	Doc: "machine Send/Receive bodies must not write captured shared state or use " +
+		"sync/atomic/channel primitives (LOCAL model; pool execution makes it a race)",
+	Run: run,
+}
+
+// envParamNames are the context types that mark a machine method.
+var envParamNames = map[string]bool{"Env": true, "StageCtx": true}
+
+// factoryTypeNames are the named function types whose literals are checked
+// for concurrency primitives.
+var factoryTypeNames = map[string]bool{"Factory": true, "StageFactory": true, "MemoryFactory": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isMachineMethod(pass, fd) {
+				checkBody(pass, fd.Body, fd, fmt.Sprintf("%s.%s", recvName(fd), fd.Name.Name), true)
+			}
+			// Factory literals may appear in any function.
+			ast.Inspect(fd, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkFactoryArgs(pass, call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isMachineMethod reports whether fd is a method named Send or Receive
+// whose first parameter is *Env or *StageCtx.
+func isMachineMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || (fd.Name.Name != "Send" && fd.Name.Name != "Receive") {
+		return false
+	}
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[params.List[0].Type]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && envParamNames[named.Obj().Name()]
+}
+
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "?"
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}
+
+// checkFactoryArgs flags concurrency primitives inside function literals
+// passed where a Factory/StageFactory/MemoryFactory parameter is expected.
+func checkFactoryArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok || i >= sig.Params().Len() {
+			continue
+		}
+		named, ok := sig.Params().At(i).Type().(*types.Named)
+		if !ok || !factoryTypeNames[named.Obj().Name()] {
+			continue
+		}
+		checkBody(pass, lit.Body, lit, named.Obj().Name()+" literal", false)
+	}
+}
+
+// checkBody walks one machine (or factory) body. When strict is true,
+// writes to variables declared outside fn are flagged too.
+func checkBody(pass *analysis.Pass, bodyNode *ast.BlockStmt, fn ast.Node, label string, strict bool) {
+	ast.Inspect(bodyNode, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "%s sends on a channel: machines are per-node state machines; "+
+				"the engine owns all communication", label)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "%s receives from a channel: machines may only consume their inbox", label)
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s spawns a goroutine: machine code runs on the engine's worker pool "+
+				"and must stay single-threaded", label)
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "%s uses select: no channel operations in machine code", label)
+		case *ast.CallExpr:
+			checkCall(pass, n, label)
+		case *ast.AssignStmt:
+			if strict {
+				for _, l := range n.Lhs {
+					checkWrite(pass, l, fn, label)
+				}
+			}
+		case *ast.IncDecStmt:
+			if strict {
+				checkWrite(pass, n.X, fn, label)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags sync/atomic package functions, methods on sync types, and
+// channel construction.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, label string) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isb := pass.TypesInfo.Uses[id].(*types.Builtin); isb && b.Name() == "close" {
+			pass.Reportf(call.Pos(), "%s closes a channel: no channel operations in machine code", label)
+		}
+		if b, isb := pass.TypesInfo.Uses[id].(*types.Builtin); isb && b.Name() == "make" && len(call.Args) > 0 {
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(call.Pos(), "%s makes a channel: machines must not construct concurrency state", label)
+				}
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "sync", "sync/atomic":
+		pass.Reportf(call.Pos(), "%s calls %s.%s: sync/atomic primitives are forbidden in machine code "+
+			"(per-node state needs no locks; needing one means state is shared)",
+			label, fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkWrite flags assignments whose root identifier resolves to a variable
+// declared outside fn (captured shared state). Writes through the receiver
+// or parameters are per-node by construction and stay legal.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr, fn ast.Node, label string) {
+	root := lhs
+	for {
+		switch r := root.(type) {
+		case *ast.IndexExpr:
+			root = r.X
+			continue
+		case *ast.StarExpr:
+			root = r.X
+			continue
+		case *ast.SelectorExpr:
+			root = r.X
+			continue
+		case *ast.ParenExpr:
+			root = r.X
+			continue
+		}
+		break
+	}
+	id, ok := root.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	// Declared inside fn (including receiver and parameters, whose
+	// positions sit in the signature) => per-node state.
+	if v.Pos() >= fn.Pos() && v.Pos() < fn.End() {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "%s writes %s, which is declared outside the machine: captured shared state "+
+		"violates the LOCAL model and races under the worker pool; "+
+		"keep state in the machine struct, or suppress with //lint:allow machinepurity (reason)",
+		label, id.Name)
+}

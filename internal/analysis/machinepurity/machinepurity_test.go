@@ -1,0 +1,12 @@
+package machinepurity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/machinepurity"
+)
+
+func TestMachinePurity(t *testing.T) {
+	analysistest.Run(t, "../testdata", machinepurity.Analyzer, "fixtures/machines")
+}

@@ -1,0 +1,413 @@
+// Package maporder flags range statements over maps whose bodies have
+// order-dependent effects in packages that must be bit-for-bit
+// reproducible. Go randomizes map iteration order, so any map range that
+// appends to a slice, returns a loop-dependent value, writes an outer
+// variable, or calls out feeds that randomness into graph construction,
+// routing, or output ordering — exactly the bug class fixed in the
+// BarabasiAlbert/FlipEdges generators (PR 1).
+//
+// Order-independent bodies are accepted: integer counters, stores keyed by
+// the loop variables, delete, existence checks that return constants, and
+// the collect-then-sort idiom (append the keys to a slice that is sorted
+// later in the same function).
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration with order-dependent effects in deterministic packages " +
+		"(engine, graph, framework, algorithms); iterate over sorted keys instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathInScope(pass.Pkg.Path(), analysis.DeterministicPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Track the innermost enclosing function body for the
+		// collect-then-sort lookahead.
+		var funcStack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				ast.Inspect(body(n), walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				checkRange(pass, n, enclosing(funcStack))
+			}
+			return true
+		}
+		for _, decl := range f.Decls {
+			ast.Inspect(decl, walk)
+		}
+	}
+	return nil
+}
+
+func body(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return &ast.BlockStmt{}
+		}
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return n
+}
+
+func enclosing(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// ctx carries the classification context for one map range.
+type ctx struct {
+	pass *analysis.Pass
+	rs   *ast.RangeStmt
+	// loopVars are the key/value objects of the range statement.
+	loopVars map[types.Object]bool
+	// fn is the enclosing function node (for the sorted-later lookahead).
+	fn ast.Node
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, fn ast.Node) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	c := &ctx{pass: pass, rs: rs, loopVars: map[types.Object]bool{}, fn: fn}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				c.loopVars[obj] = true
+			}
+		}
+	}
+	if why := c.classifyBlock(rs.Body); why != "" {
+		pass.Reportf(rs.Pos(), "map iteration order is randomized but this loop %s; "+
+			"iterate over sorted keys, or suppress with //lint:allow maporder (reason)", why)
+	}
+}
+
+// classifyBlock returns "" when every statement is order-independent, else a
+// description of the first order-dependent statement.
+func (c *ctx) classifyBlock(b *ast.BlockStmt) string {
+	for _, s := range b.List {
+		if why := c.classify(s); why != "" {
+			return why
+		}
+	}
+	return ""
+}
+
+func (c *ctx) classify(s ast.Stmt) string {
+	switch s := s.(type) {
+	case nil:
+		return ""
+	case *ast.BlockStmt:
+		return c.classifyBlock(s)
+	case *ast.IfStmt:
+		if why := c.classify(s.Init); why != "" {
+			return why
+		}
+		if why := c.classifyBlock(s.Body); why != "" {
+			return why
+		}
+		return c.classify(s.Else)
+	case *ast.SwitchStmt:
+		return c.classifyCases(s.Body)
+	case *ast.TypeSwitchStmt:
+		return c.classifyCases(s.Body)
+	case *ast.ForStmt:
+		if why := c.classify(s.Init); why != "" {
+			return why
+		}
+		if why := c.classify(s.Post); why != "" {
+			return why
+		}
+		return c.classifyBlock(s.Body)
+	case *ast.RangeStmt:
+		// A nested map range is reported on its own; classify the body
+		// relative to this loop either way.
+		return c.classifyBlock(s.Body)
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			return "jumps with goto"
+		}
+		return ""
+	case *ast.DeclStmt:
+		return ""
+	case *ast.IncDecStmt:
+		if isInteger(c.pass, s.X) {
+			return ""
+		}
+		return "updates a non-integer accumulator (non-commutative)"
+	case *ast.AssignStmt:
+		return c.classifyAssign(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(c.pass, call, "delete") {
+			return ""
+		}
+		return "calls a function with effects that depend on iteration order"
+	case *ast.ReturnStmt:
+		// Returning a value that does not mention the loop variables is the
+		// any/all early-exit idiom: whichever iteration fires, the result is
+		// the same. Returning a loop variable means first-match-wins.
+		for _, r := range s.Results {
+			if !isConstantish(r) && c.mentionsLoopVar(r) {
+				return "returns a loop-dependent value (first match wins nondeterministically)"
+			}
+		}
+		return ""
+	default:
+		// send, go, defer, select, labeled, goto targets, ...
+		return "contains a statement the checker cannot prove order-independent"
+	}
+}
+
+func (c *ctx) classifyCases(b *ast.BlockStmt) string {
+	for _, s := range b.List {
+		cc, ok := s.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, st := range cc.Body {
+			if why := c.classify(st); why != "" {
+				return why
+			}
+		}
+	}
+	return ""
+}
+
+// classifyAssign accepts commutative integer updates, stores keyed by the
+// loop variables, writes to loop-local temporaries, and the
+// collect-then-sort idiom.
+func (c *ctx) classifyAssign(s *ast.AssignStmt) string {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		for _, l := range s.Lhs {
+			if !isInteger(c.pass, l) {
+				return "accumulates into a non-integer (non-commutative update)"
+			}
+		}
+		return ""
+	case token.ASSIGN, token.DEFINE:
+		// keys = append(keys, ...) is fine when keys is sorted afterwards.
+		if ok, why := c.collectThenSort(s); ok {
+			return ""
+		} else if why != "" {
+			return why
+		}
+		// Assigning constants is idempotent (any iteration writes the same
+		// value), which accepts the found=true / win=false any/all idiom.
+		if allConstantish(s.Rhs) {
+			return ""
+		}
+		for _, l := range s.Lhs {
+			if why := c.classifyWrite(l); why != "" {
+				return why
+			}
+		}
+		return ""
+	default:
+		return "updates state with a non-commutative operator"
+	}
+}
+
+func (c *ctx) classifyWrite(l ast.Expr) string {
+	switch l := l.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return ""
+		}
+		obj := c.pass.TypesInfo.Defs[l]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Uses[l]
+		}
+		if obj != nil && obj.Pos() >= c.rs.Pos() && obj.Pos() < c.rs.End() {
+			return "" // loop-local temporary
+		}
+		return "overwrites an outer variable (last iteration wins nondeterministically)"
+	case *ast.IndexExpr:
+		if c.mentionsLoopVar(l.Index) {
+			return "" // store keyed by the loop variable: one write per key
+		}
+		if _, isMap := typeOf(c.pass, l.X).(*types.Map); isMap && c.mentionsLoopVar(l) {
+			return ""
+		}
+		return "stores at an index unrelated to the loop key (write order leaks)"
+	default:
+		return "writes through a reference the checker cannot prove per-key"
+	}
+}
+
+// collectThenSort recognizes x = append(x, args...) where args mention only
+// loop variables and x is sorted later in the enclosing function. Returns
+// (true, "") on the accepted idiom, (false, reason) on an append that is
+// NOT sorted later, and (false, "") when s is not an append at all.
+func (c *ctx) collectThenSort(s *ast.AssignStmt) (bool, string) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false, ""
+	}
+	targetPath := exprPath(s.Lhs[0])
+	if targetPath == "" {
+		return false, ""
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(c.pass, call, "append") || len(call.Args) == 0 {
+		return false, ""
+	}
+	if exprPath(call.Args[0]) != targetPath {
+		return false, ""
+	}
+	if c.sortedLater(targetPath) {
+		return true, ""
+	}
+	return false, "appends to " + targetPath + " in map order without sorting it afterwards"
+}
+
+// sortedLater reports whether the collected slice (identified by its
+// dotted path, e.g. "m.fresh") is passed to a sort call after the range
+// statement, within the enclosing function.
+func (c *ctx) sortedLater(targetPath string) bool {
+	if c.fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body(c.fn), func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() {
+			return true
+		}
+		if !c.isSortCall(call) || len(call.Args) == 0 {
+			return true
+		}
+		mentions := false
+		ast.Inspect(call.Args[0], func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok && exprPath(e) == targetPath {
+				mentions = true
+			}
+			return !mentions
+		})
+		if mentions {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprPath renders an ident/selector chain as a dotted path ("m.fresh"),
+// or "" for anything else.
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// isSortCall recognizes anything from the sort or slices packages plus
+// user-defined helpers whose name mentions Sort.
+func (c *ctx) isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return strings.Contains(id.Name, "Sort")
+		}
+		return false
+	}
+	if fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			return true
+		}
+	}
+	return strings.Contains(sel.Sel.Name, "Sort")
+}
+
+func allConstantish(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if !isConstantish(e) {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+func (c *ctx) mentionsLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.loopVars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return nil
+}
+
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	b, ok := typeOf(pass, e).(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isb := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isb
+}
+
+func isConstantish(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "true" || e.Name == "false" || e.Name == "nil"
+	case *ast.UnaryExpr:
+		return isConstantish(e.X)
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/maporder"
+)
+
+// TestDirectiveBookkeeping checks the //lint:allow lifecycle on the
+// directives fixture: malformed directives are always reported, and a
+// well-formed directive whose analyzer ran but suppressed nothing is
+// reported as unused. These diagnostics land on the directive's own line,
+// so they cannot be asserted with want comments.
+func TestDirectiveBookkeeping(t *testing.T) {
+	srcdir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(srcdir, "fixtures/directives")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.RunPackages(pkgs, []*analysis.Analyzer{maporder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"unused //lint:allow maporder directive",
+		"malformed //lint:allow directive: missing (reason)",
+		"malformed //lint:allow directive: cannot parse",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lintdirective" {
+			t.Errorf("diagnostic from %q, want lintdirective: %s", d.Analyzer, d.Message)
+		}
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q in %v", want, diags)
+		}
+	}
+}
+
+// TestSuppressionRemovesDiagnostic checks end to end that a well-formed
+// directive placed on the line above a finding removes it: the graph
+// fixture's UniqueMatch loop is flagged without suppression support only.
+func TestSuppressionRemovesDiagnostic(t *testing.T) {
+	srcdir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(srcdir, "fixtures/internal/graph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.RunPackages(pkgs, []*analysis.Analyzer{maporder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "lintdirective" {
+			t.Errorf("graph fixture's directives should all be used: %s: %s", d.Pos, d.Message)
+		}
+		if strings.Contains(d.Message, "UniqueMatch") {
+			t.Errorf("suppressed finding leaked: %s", d.Message)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPkgs are the import-path suffixes of packages whose behaviour
+// must be bit-for-bit reproducible: the engine, the graph layer, the
+// framework combinators, and every algorithm package. Scope checks match by
+// suffix so analysistest fixtures can mirror real paths under testdata.
+var DeterministicPkgs = []string{
+	"internal/graph",
+	"internal/runtime",
+	"internal/runtime/fault",
+	"internal/core",
+	"internal/heal",
+	"internal/mis",
+	"internal/matching",
+	"internal/vcolor",
+	"internal/ecolor",
+	"internal/tree",
+	"internal/linegraph",
+	"internal/decomp",
+	"internal/predict",
+	"internal/exact",
+	"internal/verify",
+	"internal/check",
+	"internal/stats",
+	"internal/bench",
+}
+
+// SeededPkgs are the suffixes of packages where every random draw and clock
+// read must come from an explicitly seeded source: engine, fault injection,
+// graph and prediction generators, and the experiment harness.
+var SeededPkgs = []string{
+	"internal/runtime",
+	"internal/runtime/fault",
+	"internal/graph",
+	"internal/predict",
+	"internal/tree",
+	"internal/bench",
+}
+
+// WrapErrPkgs are the suffixes of the framework packages whose errors must
+// wrap the runtime sentinels (ErrConfig, ErrProtocol, ErrMachinePanic, ...).
+var WrapErrPkgs = []string{
+	"internal/runtime",
+	"internal/runtime/fault",
+	"internal/core",
+	"internal/heal",
+}
+
+// PathInScope reports whether path is the module root or ends with one of
+// the scope suffixes.
+func PathInScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBitsMethod reports whether t's method set (value or pointer receiver)
+// contains the CONGEST accounting method `Bits() int`, i.e. whether values
+// of t satisfy runtime.BitSized. The check is structural so fixtures need
+// not import the real runtime package.
+func HasBitsMethod(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			f, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || f.Name() != "Bits" {
+				continue
+			}
+			sig, ok := f.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+				continue
+			}
+			if basic, ok := sig.Results().At(0).Type().(*types.Basic); ok && basic.Kind() == types.Int {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncName returns the name of the function or method declaration enclosing
+// pos-bearing node n when n is a *ast.FuncDecl, else "".
+func FuncName(n ast.Node) string {
+	if fd, ok := n.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return ""
+}

@@ -1,0 +1,77 @@
+// Package seededrand forbids unseeded randomness and wall-clock reads in
+// the paths that must replay exactly: the round engine, the fault injector,
+// and the graph/prediction generators. The repository's contract is that a
+// seed reproduces a run bit for bit; math/rand's global functions draw from
+// process-global state, and time.Now varies across runs, so both break
+// replay silently.
+//
+// Allowed: rand.New and rand.NewSource (the caller supplies the seed) and
+// every method on an explicit *rand.Rand value.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the seededrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid math/rand global functions and time.Now/time.Since in engine, " +
+		"fault, and generator paths; all randomness must flow from an explicit seed",
+	Run: run,
+}
+
+// seedConstructors are the math/rand package-level functions that take an
+// explicit seed or source and are therefore fine.
+var seedConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// clockReads are the time package functions that read the wall clock.
+var clockReads = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathInScope(pass.Pkg.Path(), analysis.SeededPkgs) {
+		return nil
+	}
+	analysis.Inspect(pass, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // methods (e.g. (*rand.Rand).Intn) are explicitly seeded
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if !seedConstructors[fn.Name()] {
+				pass.Reportf(sel.Pos(), "%s.%s draws from process-global random state and breaks seeded replay; "+
+					"draw from an explicit rand.New(rand.NewSource(seed)), or suppress with //lint:allow seededrand (reason)",
+					fn.Pkg().Name(), fn.Name())
+			}
+		case "time":
+			if clockReads[fn.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic path; "+
+					"derive timing from round numbers or a seeded source, or suppress with //lint:allow seededrand (reason)",
+					fn.Name())
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package suite assembles the dgp-lint analyzer set. cmd/dgp-lint (both
+// the standalone multichecker and the go vet -vettool mode) and any future
+// driver consume the suite from here.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/bitsize"
+	"repro/internal/analysis/machinepurity"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/wraperrcheck"
+)
+
+// All returns every analyzer in the dgp-lint suite, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		bitsize.Analyzer,
+		machinepurity.Analyzer,
+		maporder.Analyzer,
+		seededrand.Analyzer,
+		wraperrcheck.Analyzer,
+	}
+}

@@ -1,0 +1,21 @@
+// Package directives exercises //lint:allow bookkeeping: well-formed unused
+// directives and malformed ones are findings in their own right (analyzer
+// "lintdirective"). Asserted programmatically in run_test.go because the
+// diagnostics land on the directive's own line, where a want comment cannot
+// sit.
+package directives
+
+func unusedDirective() {
+	//lint:allow maporder (nothing here to suppress)
+	_ = 1
+}
+
+func missingReason(m map[int]int) {
+	//lint:allow maporder
+	for k := range m {
+		_ = k
+	}
+}
+
+//lint:allow this is not a parseable directive
+func unparseable() {}

@@ -1,0 +1,118 @@
+// Package graph is a maporder fixture. Its import path ends in
+// internal/graph, so it sits inside the deterministic scope.
+package graph
+
+import "sort"
+
+// AppendUnsorted leaks map order into the returned slice.
+func AppendUnsorted(m map[int]int) []int {
+	out := []int{}
+	for k := range m { // want `appends to out in map order without sorting it afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectThenSort is the accepted idiom: the collected keys are sorted
+// before anything observes them.
+func CollectThenSort(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// fieldCollector collects into a struct field, sorted afterwards.
+type fieldCollector struct {
+	fresh []int
+}
+
+func (c *fieldCollector) drain(m map[int]struct{}) {
+	for k := range m {
+		c.fresh = append(c.fresh, k)
+	}
+	sort.Ints(c.fresh)
+}
+
+// Count and Sum are commutative integer accumulations.
+func Count(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// FirstMatch returns whichever matching key the runtime serves up first.
+func FirstMatch(m map[int]int) int {
+	for k, v := range m { // want `returns a loop-dependent value`
+		if v > 0 {
+			return k
+		}
+	}
+	return -1
+}
+
+// AnyPositive is the any/all idiom: every iteration writes the same
+// constant, so the result is order-independent.
+func AnyPositive(m map[int]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// Overwrite keeps the last key served, i.e. a random one.
+func Overwrite(m map[int]int) int {
+	last := 0
+	for k := range m { // want `overwrites an outer variable`
+		last = k
+	}
+	return last
+}
+
+// KeyedStore writes once per key: order-independent.
+func KeyedStore(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// CallsOut calls into code whose effects the checker cannot order.
+func CallsOut(m map[int]int) {
+	for k := range m { // want `calls a function with effects`
+		println(k)
+	}
+}
+
+// DeleteAll is the sanctioned delete-during-range pattern.
+func DeleteAll(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// UniqueMatch documents a justified suppression: the directive on the line
+// above the loop silences the finding.
+func UniqueMatch(m map[int]int) int {
+	//lint:allow maporder (at most one entry matches by construction)
+	for k, v := range m {
+		if v == 42 {
+			return k
+		}
+	}
+	return -1
+}

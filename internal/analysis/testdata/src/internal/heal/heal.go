@@ -1,0 +1,50 @@
+// Package heal is a wraperrcheck fixture. Its import path ends in
+// internal/heal, so it sits inside the wrap-error scope.
+package heal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConfig is a package-level sentinel definition: exempt.
+var ErrConfig = errors.New("heal: invalid configuration")
+
+// validateBudget is a config path by naming convention, so the diagnostic
+// names ErrConfig specifically.
+func validateBudget(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative budget %d", n) // want `fmt.Errorf without %w.*wrap ErrConfig`
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: zero budget", ErrConfig)
+	}
+	return nil
+}
+
+// runPhase is a runtime path: the diagnostic points at the runtime
+// sentinels.
+func runPhase() error {
+	return errors.New("phase failed") // want `errors.New inside a function drops the error out of errors.Is`
+}
+
+// bareErrorf builds an unclassifiable error.
+func bareErrorf(round int) error {
+	return fmt.Errorf("round %d wedged", round) // want `fmt.Errorf without %w`
+}
+
+// wrapped chains an upstream error: legal.
+func wrapped(err error, round int) error {
+	return fmt.Errorf("round %d: %w", round, err)
+}
+
+// dynamicFormat cannot be judged statically and is left to vet.
+func dynamicFormat(format string) error {
+	return fmt.Errorf(format)
+}
+
+// allowedBare documents a justified suppression.
+func allowedBare() error {
+	//lint:allow wraperrcheck (scratch diagnostics helper, never classified by errors.Is)
+	return errors.New("heal: scratch")
+}

@@ -1,0 +1,36 @@
+// Package predict is a seededrand fixture. Its import path ends in
+// internal/predict, so it sits inside the seeded scope.
+package predict
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GlobalDraw uses the process-global generator: unreproducible.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `rand.Intn draws from process-global random state`
+}
+
+// Clock reads wall-clock time in a deterministic path.
+func Clock() time.Duration {
+	t := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(t) // want `time.Since reads the wall clock`
+}
+
+// SeededDraw threads an explicit seed: every draw is replayable.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// ConstantTime constructs times without reading the clock.
+func ConstantTime() time.Time {
+	return time.Unix(0, 0)
+}
+
+// AllowedClock documents a justified suppression.
+func AllowedClock() time.Time {
+	//lint:allow seededrand (observational instrumentation, never affects semantics)
+	return time.Now()
+}

@@ -1,0 +1,118 @@
+// Package machines is a machinepurity fixture. The Env/StageCtx/Out types
+// mirror the runtime's shapes structurally, so the fixture needs no import
+// of the real module.
+package machines
+
+import "sync"
+
+// Env stands in for runtime.Env.
+type Env struct{ id int }
+
+// ID returns the node identifier.
+func (e *Env) ID() int { return e.id }
+
+// StageCtx stands in for core.StageCtx.
+type StageCtx struct{ round int }
+
+// Msg and Out mirror the runtime message types.
+type Msg struct {
+	From    int
+	Payload any
+}
+
+type Out struct {
+	To      int
+	Payload any
+}
+
+var shared int
+var mu sync.Mutex
+
+// goodMachine keeps all state in its own struct: legal.
+type goodMachine struct{ state int }
+
+func (m *goodMachine) Send(env *Env) []Out {
+	m.state++
+	local := m.state * 2
+	_ = local
+	return nil
+}
+
+func (m *goodMachine) Receive(env *Env, inbox []Msg) {
+	for range inbox {
+		m.state++
+	}
+}
+
+// badMachine reaches outside its own state.
+type badMachine struct{}
+
+func (m *badMachine) Send(env *Env) []Out {
+	shared++          // want `writes shared, which is declared outside the machine`
+	mu.Lock()         // want `calls sync.Lock`
+	defer mu.Unlock() // want `calls sync.Unlock`
+	return nil
+}
+
+func helper(ch chan int) {}
+
+func (m *badMachine) Receive(env *Env, inbox []Msg) {
+	ch := make(chan int) // want `makes a channel`
+	go helper(ch)        // want `spawns a goroutine`
+	ch <- 1              // want `sends on a channel`
+	<-ch                 // want `receives from a channel`
+	close(ch)            // want `closes a channel`
+}
+
+// stageMachine exercises the StageCtx variant of the contract.
+type stageMachine struct{ done bool }
+
+func (s *stageMachine) Send(c *StageCtx) []Out {
+	s.done = true
+	return nil
+}
+
+func (s *stageMachine) Receive(c *StageCtx, inbox []Msg) {
+	shared = len(inbox) // want `writes shared, which is declared outside the machine`
+}
+
+// closureMachine shows that literals declared inside a machine method are
+// checked with it: writes to method-local state stay legal, captured
+// package state does not.
+type closureMachine struct{}
+
+func (m *closureMachine) Send(env *Env) []Out {
+	n := 0
+	visit := func() {
+		n++        // method-local: fine
+		shared = n // want `writes shared, which is declared outside the machine`
+	}
+	visit()
+	return nil
+}
+
+// Factory mirrors runtime.Factory: literals passed as factories run on the
+// main goroutine, so captured-state writes are legal there but concurrency
+// primitives are not.
+type Factory func(id int) *goodMachine
+
+// Use anchors the Factory parameter type.
+func Use(f Factory) {}
+
+func registerFactories() {
+	Use(func(id int) *goodMachine {
+		shared++             // factory runs before the pool starts: legal
+		ch := make(chan int) // want `makes a channel`
+		_ = ch
+		return &goodMachine{}
+	})
+}
+
+// notAMachine has a Send method without an Env/StageCtx first parameter:
+// out of contract, unchecked.
+type notAMachine struct{}
+
+func (n *notAMachine) Send(round int) []Out {
+	shared++
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package plain sits outside every scoped analyzer's path list: code that
+// would be flagged in a scoped package must produce no findings here.
+package plain
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// AppendUnsorted would be a maporder finding under internal/graph.
+func AppendUnsorted(m map[int]int) []int {
+	out := []int{}
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clock would be two seededrand findings under internal/predict.
+func Clock() (int, time.Time) {
+	return rand.Intn(10), time.Now()
+}
+
+// Bare would be a wraperrcheck finding under internal/heal.
+func Bare() error {
+	return errors.New("bare")
+}

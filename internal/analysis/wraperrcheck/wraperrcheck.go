@@ -1,0 +1,93 @@
+// Package wraperrcheck enforces the repository's error taxonomy in the
+// framework packages (runtime, fault, core, heal): every error constructed
+// inside a function must wrap something with %w — configuration errors wrap
+// runtime.ErrConfig, protocol and runtime failures wrap the sentinels
+// introduced with the chaos engine (ErrProtocol, ErrMachinePanic,
+// ErrRoundDeadline, ErrCongestViolation, ...). Callers classify failures
+// with errors.Is — the recovery wrapper, for one, heals damaged runs but
+// must give up on misconfigured ones — so a bare errors.New or a %w-less
+// fmt.Errorf silently drops an error out of every such decision.
+//
+// Package-level `var ErrX = errors.New(...)` declarations are the sentinel
+// definitions themselves and are exempt.
+package wraperrcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wraperrcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wraperrcheck",
+	Doc: "framework errors must wrap a sentinel with %w (config paths: ErrConfig; " +
+		"runtime paths: the chaos-engine sentinels) so errors.Is classification works",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathInScope(pass.Pkg.Path(), analysis.WrapErrPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			configPath := isConfigFunc(fd.Name.Name)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, call, configPath)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isConfigFunc reports whether the function is a configuration-validation
+// path by naming convention.
+func isConfigFunc(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "valid") || strings.Contains(lower, "config")
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, configPath bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sentinel := "a sentinel (ErrProtocol, ErrMachinePanic, ErrRoundDeadline, ...)"
+	if configPath {
+		sentinel = "ErrConfig"
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		pass.Reportf(call.Pos(), "errors.New inside a function drops the error out of errors.Is classification; "+
+			"wrap %s with fmt.Errorf(\"%%w: ...\", ...) — errors.New belongs only in package-level sentinel definitions",
+			sentinel)
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return // non-literal format: cannot judge, leave to vet
+		}
+		if !strings.Contains(lit.Value, "%w") {
+			pass.Reportf(call.Pos(), "fmt.Errorf without %%w builds an unclassifiable error; "+
+				"wrap %s, or suppress with //lint:allow wraperrcheck (reason)", sentinel)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package wraperrcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wraperrcheck"
+)
+
+func TestWrapErrCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", wraperrcheck.Analyzer,
+		"fixtures/internal/heal", "fixtures/plain")
+}

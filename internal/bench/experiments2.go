@@ -449,8 +449,8 @@ func E16() []*Table {
 		}
 		t.AddRow(c.name, seq.Rounds, par.Rounds, boolCell(agree), seq.Messages, seq.MaxMsgBits)
 	}
-	t.Note("max msg bits -1 marks runs with no sized payload: LOCAL-only algorithms (unbounded")
-	t.Note("messages, e.g. collect/decomp floods) or runs that delivered no messages at all;")
-	t.Note("the greedy/base/clean-up family fits CONGEST with O(1)-bit payloads plus small lane headers")
+	t.Note("every payload is size-accounted: LOCAL-by-design algorithms (collect/decomp floods)")
+	t.Note("report their true linear payload sizes; max msg bits -1 marks runs that delivered")
+	t.Note("no messages; the greedy/base/clean-up family fits CONGEST with O(1)-bit payloads")
 	return []*Table{t}
 }

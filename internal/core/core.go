@@ -125,11 +125,11 @@ func unwrapInbox(inbox []runtime.Msg, lane uint8, stage uint16) ([]runtime.Msg, 
 	for _, m := range inbox {
 		tm, ok := m.Payload.(taggedMsg)
 		if !ok {
-			return nil, fmt.Errorf("core: untagged message from node %d", m.From)
+			return nil, fmt.Errorf("%w: core: untagged message from node %d", runtime.ErrProtocol, m.From)
 		}
 		if tm.lane != lane || tm.stage != stage {
-			return nil, fmt.Errorf("core: lockstep violation: message from node %d on lane %d stage %d, expected lane %d stage %d",
-				m.From, tm.lane, tm.stage, lane, stage)
+			return nil, fmt.Errorf("%w: core: lockstep violation: message from node %d on lane %d stage %d, expected lane %d stage %d",
+				runtime.ErrProtocol, m.From, tm.lane, tm.stage, lane, stage)
 		}
 		out = append(out, runtime.Msg{From: m.From, Payload: tm.payload})
 	}

@@ -151,7 +151,7 @@ func (m *interleavedMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {
 		m.rCtx.env = env
 		m.rMach.Receive(&m.rCtx, plain)
 		if m.rCtx.yielded && !env.Terminated() {
-			env.Fail(fmt.Errorf("core: interleaved reference yielded without output at node %d", env.ID()))
+			env.Fail(fmt.Errorf("%w: core: interleaved reference yielded without output at node %d", runtime.ErrProtocol, env.ID()))
 			return
 		}
 	}

@@ -115,7 +115,7 @@ func (m *parallelMachine) Send(env *runtime.Env) []runtime.Out {
 			m.r1Ctx.stageRound++
 			r1Outs := wrapOuts(m.r1Mach.Send(&m.r1Ctx), planeR, 0)
 			if env.Terminated() {
-				env.Fail(fmt.Errorf("core: parallel reference part 1 output at node %d", env.ID()))
+				env.Fail(fmt.Errorf("%w: core: parallel reference part 1 output at node %d", runtime.ErrProtocol, env.ID()))
 				return nil
 			}
 			outs = append(outs, r1Outs...)
@@ -130,7 +130,7 @@ func (m *parallelMachine) Send(env *runtime.Env) []runtime.Out {
 		m.r2Ctx.stageRound++
 		return wrapOuts(m.r2Mach.Send(&m.r2Ctx), plane2, 0)
 	default:
-		env.Fail(fmt.Errorf("core: parallel machine exhausted at node %d", env.ID()))
+		env.Fail(fmt.Errorf("%w: core: parallel machine exhausted at node %d", runtime.ErrProtocol, env.ID()))
 		return nil
 	}
 }
@@ -168,7 +168,7 @@ func (m *parallelMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {
 			m.r1Ctx.env = env
 			m.r1Mach.Receive(&m.r1Ctx, rIn)
 			if env.Terminated() {
-				env.Fail(fmt.Errorf("core: parallel reference part 1 output at node %d", env.ID()))
+				env.Fail(fmt.Errorf("%w: core: parallel reference part 1 output at node %d", runtime.ErrProtocol, env.ID()))
 				return
 			}
 			if m.r1Ctx.yielded {
@@ -224,7 +224,7 @@ func splitInbox(inbox []runtime.Msg) (uIn, rIn []runtime.Msg, err error) {
 	for _, msg := range inbox {
 		tm, ok := msg.Payload.(taggedMsg)
 		if !ok {
-			return nil, nil, fmt.Errorf("core: untagged message from node %d", msg.From)
+			return nil, nil, fmt.Errorf("%w: core: untagged message from node %d", runtime.ErrProtocol, msg.From)
 		}
 		plain := runtime.Msg{From: msg.From, Payload: tm.payload}
 		switch tm.lane {
@@ -233,7 +233,7 @@ func splitInbox(inbox []runtime.Msg) (uIn, rIn []runtime.Msg, err error) {
 		case planeR:
 			rIn = append(rIn, plain)
 		default:
-			return nil, nil, fmt.Errorf("core: lane %d message from node %d during parallel section", tm.lane, msg.From)
+			return nil, nil, fmt.Errorf("%w: core: lane %d message from node %d during parallel section", runtime.ErrProtocol, tm.lane, msg.From)
 		}
 	}
 	return uIn, rIn, nil

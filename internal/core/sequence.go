@@ -52,7 +52,7 @@ func (s *seqMachine) enter(k int) {
 
 func (s *seqMachine) Send(env *runtime.Env) []runtime.Out {
 	if s.machine == nil {
-		env.Fail(fmt.Errorf("core: node %d active past final stage without output", env.ID()))
+		env.Fail(fmt.Errorf("%w: core: node %d active past final stage without output", runtime.ErrProtocol, env.ID()))
 		return nil
 	}
 	s.ctx.env = env

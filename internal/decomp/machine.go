@@ -68,15 +68,39 @@ type row struct {
 	HasForeign bool
 }
 
+// bits sizes one row: ID, Foreign, ForeignID, HasForeign, and the
+// same-cluster neighbor list.
+func (r row) bits() int {
+	return 32 + 64 + 32 + 1 + 32*len(r.Nbrs)
+}
+
 // rowsMsg carries newly learned rows up the cluster tree (LOCAL-size).
 type rowsMsg struct{ Rows []row }
 
+// Bits sizes the convergecast batch for CONGEST accounting (LOCAL-size by
+// design; honest accounting keeps Result.Bits meaningful).
+func (m rowsMsg) Bits() int {
+	n := 0
+	for _, r := range m.Rows {
+		n += r.bits()
+	}
+	return n
+}
+
 // decideMsg floods the center's decision through the cluster (LOCAL-size).
+// MIS maps member ID to its bit of the cluster's canonical MIS.
 type decideMsg struct {
 	Phase  int
 	Center int
 	Win    bool
-	Bits   map[int]int
+	MIS    map[int]int
+}
+
+// Bits sizes the decision for CONGEST accounting: header plus one (ID, bit)
+// pair per cluster member. Clusters have LOCAL-size diameter, so this is
+// large by design; accounting it honestly keeps Result.Bits meaningful.
+func (m decideMsg) Bits() int {
+	return 64 + 1 + 33*len(m.MIS)
 }
 
 // outMsg is the pre-termination notification carrying the output bit.
@@ -176,7 +200,7 @@ func (m *machine) Send(c *core.StageCtx) []runtime.Out {
 		}
 		return nil
 	case "outA":
-		if m.decided && m.decision.Win && m.decision.Bits[c.ID()] == 1 {
+		if m.decided && m.decision.Win && m.decision.MIS[c.ID()] == 1 {
 			outs := runtime.BroadcastTo(m.active(c), outMsg{Bit: 1})
 			c.Output(1)
 			return outs
@@ -342,18 +366,18 @@ func (m *machine) decide(c *core.StageCtx) {
 		for i, id := range ids {
 			b.SetID(i, id)
 		}
-		for id, r := range m.rows {
-			for _, nb := range r.Nbrs {
-				if j, ok := idx[nb]; ok && idx[id] < j {
-					b.AddEdge(idx[id], j)
+		for i, id := range ids {
+			for _, nb := range m.rows[id].Nbrs {
+				if j, ok := idx[nb]; ok && i < j {
+					b.AddEdge(i, j)
 				}
 			}
 		}
 		sub := b.MustBuild()
 		bitsOut := exact.GreedyMISByID(sub)
-		dec.Bits = make(map[int]int, len(ids))
+		dec.MIS = make(map[int]int, len(ids))
 		for i, id := range ids {
-			dec.Bits[id] = bitsOut[i]
+			dec.MIS[id] = bitsOut[i]
 		}
 	}
 	m.decided = true

@@ -18,6 +18,16 @@ type ecRow struct {
 // ecRows carries newly learned rows (LOCAL-size).
 type ecRows struct{ Rows []ecRow }
 
+// Bits sizes the flooding batch for CONGEST accounting (LOCAL-size by
+// design; honest accounting keeps Result.Bits meaningful).
+func (m ecRows) Bits() int {
+	n := 0
+	for _, r := range m.Rows {
+		n += 32 * (1 + len(r.Uncolored) + len(r.Used))
+	}
+	return n
+}
+
 // Collect returns the collect-and-solve reference for (2Δ−1)-edge coloring:
 // n rounds of flooding the uncolored subgraph's structure and the colors
 // already used at each node, then every node extends the coloring

@@ -1,6 +1,8 @@
 package ecolor
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/linegraph"
 	"repro/internal/runtime"
@@ -24,6 +26,12 @@ import (
 type edgeFix struct {
 	Used   []int
 	Others []int
+}
+
+// Bits sizes the repair message for CONGEST accounting: one color (≤ 2Δ−1,
+// so 32 bits is generous) per listed edge.
+func (m edgeFix) Bits() int {
+	return 32 * (len(m.Used) + len(m.Others))
 }
 
 // ColorToEdges returns part 2 of the edge-coloring reference.
@@ -53,10 +61,17 @@ func (m *colorToEdgesMachine) Send(c *core.StageCtx) []runtime.Out {
 	info := c.Info()
 	palette := 2*info.Delta - 1
 	tent := m.tentative(info)
+	// Iterate repairing edges in sorted neighbor order: the Others slices
+	// travel in payloads, so their layout must not depend on map iteration.
+	nbs := make([]int, 0, len(tent))
+	for nb := range tent {
+		nbs = append(nbs, nb)
+	}
+	sort.Ints(nbs)
 	if c.StageRound() > palette || len(tent) == 0 {
 		// All classes repaired (or nothing left to color): fix and output.
-		for nb, col := range tent {
-			m.mem.SetColor(info, nb, col)
+		for _, nb := range nbs {
+			m.mem.SetColor(info, nb, tent[nb])
 		}
 		c.Output(m.mem.OutputVector(info))
 		return nil
@@ -64,11 +79,11 @@ func (m *colorToEdgesMachine) Send(c *core.StageCtx) []runtime.Out {
 	m.sent = make(map[int][]int, len(tent))
 	used := m.mem.UsedColors()
 	outs := make([]runtime.Out, 0, len(tent))
-	for nb := range tent {
+	for _, nb := range nbs {
 		others := make([]int, 0, len(tent)-1)
-		for other, col := range tent {
+		for _, other := range nbs {
 			if other != nb {
-				others = append(others, col)
+				others = append(others, tent[other])
 			}
 		}
 		m.sent[nb] = others

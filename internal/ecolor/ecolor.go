@@ -145,6 +145,12 @@ type update struct {
 	Uncolored []int
 }
 
+// Bits sizes the message for CONGEST accounting: one color or endpoint ID
+// (32 bits each, generous) per listed entry.
+func (m update) Bits() int {
+	return 32 * (len(m.Used) + len(m.Uncolored))
+}
+
 // assign fixes the shared edge's color (sent by a measure-uniform winner).
 type assign struct{ C int }
 

@@ -95,12 +95,6 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	edges := make([][2]int, 0, len(b.edges))
 	for e := range b.edges {
-		if e[0] == e[1] {
-			return nil, fmt.Errorf("graph: self-loop at node %d", e[0])
-		}
-		if e[0] < 0 || e[1] >= b.n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e[0], e[1], b.n)
-		}
 		edges = append(edges, e)
 	}
 	sort.Slice(edges, func(i, j int) bool {
@@ -109,6 +103,16 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 		return edges[i][1] < edges[j][1]
 	})
+	// Validate after sorting so the reported edge is the canonical first
+	// offender, not whichever the map served up this run.
+	for _, e := range edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self-loop at node %d", e[0])
+		}
+		if e[0] < 0 || e[1] >= b.n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e[0], e[1], b.n)
+		}
+	}
 
 	deg := make([]int32, b.n)
 	for _, e := range edges {

@@ -1,0 +1,57 @@
+package heal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// FuzzCarve drives the three carving functions with arbitrary damage: for
+// any topology (single node included) and any output vector — wrong length,
+// out-of-range values, arbitrary garbage — the carved result must be an
+// extendable partial solution whose residual matches its undecided set.
+//
+// shape packs the topology parameters; data supplies the damaged entries.
+func FuzzCarve(f *testing.F) {
+	f.Add(int64(5), uint64(12|30<<8), []byte{0, 1, 255, 120, 119, 121, 7})
+	f.Add(int64(1), uint64(0), []byte{})                  // single node, all undecided
+	f.Add(int64(77), uint64(39|95<<8|1<<16), []byte{121}) // dense, truncated vector
+	f.Fuzz(func(t *testing.T, seed int64, shape uint64, data []byte) {
+		n := 1 + int(shape%40)
+		p := float64((shape>>8)%100) / 100
+		g := graph.GNP(n, p, rand.New(rand.NewSource(seed)))
+		// The damaged vector may be shorter than the graph: carving treats
+		// missing entries as undecided.
+		vlen := n
+		if (shape>>16)&1 == 1 {
+			vlen = n / 2
+		}
+		damaged := make([]int, vlen)
+		for i := range damaged {
+			b := 0
+			if len(data) > 0 {
+				b = int(data[i%len(data)])
+			}
+			damaged[i] = b - 120 // wide range: negatives, Undecided, valid, huge
+		}
+		partial, residual := CarveMIS(g, damaged)
+		if err := verify.MISPartialExtendable(g, partial); err != nil {
+			t.Fatalf("carved MIS not extendable: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
+		}
+		checkResidual(t, partial, residual)
+
+		partial, residual = CarveMatching(g, damaged)
+		if err := verify.MatchingPartialExtendable(g, partial); err != nil {
+			t.Fatalf("carved matching not extendable: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
+		}
+		checkResidual(t, partial, residual)
+
+		partial, residual = CarveVColor(g, damaged)
+		if err := verify.VColorPartial(g, partial, g.MaxDegree()+1); err != nil {
+			t.Fatalf("carved coloring not proper: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
+		}
+		checkResidual(t, partial, residual)
+	})
+}

@@ -243,7 +243,7 @@ func (r *Report) TotalRounds() int { return r.PrimaryRounds + r.RecoveryRounds }
 func RunRecovered(cfg runtime.Config, spec Spec) (*Report, error) {
 	g := cfg.Graph
 	if g == nil {
-		return nil, errors.New("heal: Config.Graph is required")
+		return nil, fmt.Errorf("%w: heal: Config.Graph is required", runtime.ErrConfig)
 	}
 	n := g.N()
 	snapshot := make([]any, n)

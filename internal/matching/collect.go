@@ -31,6 +31,17 @@ type row struct {
 	Entries map[int][]int
 }
 
+// Bits sizes the flooding batch for CONGEST accounting: one ID (32 bits)
+// per key and per adjacency entry. The collect-and-solve reference is
+// LOCAL-size by design; honest accounting keeps Result.Bits meaningful.
+func (r row) Bits() int {
+	n := 0
+	for _, nbrs := range r.Entries {
+		n += 32 * (1 + len(nbrs))
+	}
+	return n
+}
+
 type collectMachine struct {
 	mem   *Memory
 	rows  map[int][]int
@@ -90,10 +101,10 @@ func (m *collectMachine) solveAndOutput(c *core.StageCtx) {
 	for i, id := range ids {
 		b.SetID(i, id)
 	}
-	for id, nbrs := range m.rows {
-		for _, nb := range nbrs {
-			if j, ok := idx[nb]; ok && idx[id] < j {
-				b.AddEdge(idx[id], j)
+	for i, id := range ids {
+		for _, nb := range m.rows[id] {
+			if j, ok := idx[nb]; ok && i < j {
+				b.AddEdge(i, j)
 			}
 		}
 	}

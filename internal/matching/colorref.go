@@ -54,6 +54,7 @@ type colorToMatchingMachine struct {
 // classEdge returns the active neighbor across this node's class-c edge, or
 // 0 when there is none (edge colors are distinct per node, so it is unique).
 func (m *colorToMatchingMachine) classEdge(info runtime.NodeInfo, class int) int {
+	//lint:allow maporder (edge colors are distinct per node, so at most one entry matches and first-match is deterministic)
 	for nb, col := range m.mem.R1Colors {
 		if col != class {
 			continue

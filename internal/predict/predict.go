@@ -205,20 +205,16 @@ func EdgeErrorComponents(g *graph.Graph, uncolored []bool) []Component {
 			nodeSet[g.Edges()[e][1]] = true
 		}
 	}
-	nodes := make([]int, 0, len(nodeSet))
-	for v := range nodeSet {
-		nodes = append(nodes, v)
-	}
 	active := make([]bool, g.N())
-	for _, v := range nodes {
+	for v := range nodeSet {
 		active[v] = true
 	}
 	// The induced subgraph on endpoint nodes may include already-colored
 	// edges between endpoints of distinct uncolored edges; per the paper the
 	// components are those of the subgraph induced by the *edges*, so build
 	// that graph explicitly.
-	idx := make(map[int]int, len(nodes))
-	ordered := make([]int, 0, len(nodes))
+	idx := make(map[int]int, len(nodeSet))
+	ordered := make([]int, 0, len(nodeSet))
 	for v := 0; v < g.N(); v++ {
 		if active[v] {
 			idx[v] = len(ordered)

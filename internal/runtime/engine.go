@@ -123,6 +123,12 @@ var ErrMachinePanic = errors.New("runtime: machine panicked")
 // this sentinel and names the phase and round.
 var ErrRoundDeadline = errors.New("runtime: round deadline exceeded")
 
+// ErrProtocol wraps every violation of the node-machine contract detected at
+// runtime: sending to a non-neighbor, producing output after termination,
+// terminating without output, or breaking a template's lockstep/lane
+// discipline (internal/core). Test errors.Is(err, ErrProtocol).
+var ErrProtocol = errors.New("runtime: protocol violation")
+
 // CongestBudget returns the conventional CONGEST message budget for an
 // n-node graph with identifier domain d: c·⌈log₂(max(n,d))⌉ bits with c = 4,
 // enough for a constant number of identifiers or colors per message. The
@@ -197,6 +203,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		var start time.Time
 		if cfg.Stats != nil {
+			//lint:allow seededrand (RoundStats.Duration is observational wall-clock instrumentation; it never feeds back into scheduling or algorithm state)
 			start = time.Now()
 		}
 		st.beginRound(round)
@@ -217,7 +224,8 @@ func Run(cfg Config) (*Result, error) {
 		st.endRound(round, res)
 		if cfg.Stats != nil {
 			cfg.Stats(RoundStats{
-				Round:    round,
+				Round: round,
+				//lint:allow seededrand (observational timing for RoundStats only; no semantic effect)
 				Duration: time.Since(start),
 				Messages: st.roundMsgs,
 				Bits:     st.roundBits,
@@ -236,8 +244,17 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // validCrashes checks a crash schedule: node indices in [0, n), rounds >= 1.
+// Entries are examined in ascending index order so a schedule with several
+// invalid entries reports the same one every run — the chaos parity tests
+// compare error strings across engine modes.
 func validCrashes(crashes map[int]int, n int, source string) error {
-	for i, r := range crashes {
+	idxs := make([]int, 0, len(crashes))
+	for i := range crashes {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		r := crashes[i]
 		if i < 0 || i >= n {
 			return fmt.Errorf("%w: %s[%d] = %d; node index out of range [0, %d)", ErrConfig, source, i, r, n)
 		}
@@ -445,7 +462,7 @@ func (st *state) sendPhase(i int) {
 	for _, out := range st.outboxes[i] {
 		pos := searchIDs(nb, out.To)
 		if pos == len(nb) || nb[pos] != out.To {
-			st.errs[i] = fmt.Errorf("node %d sent to non-neighbor %d", st.envs[i].ID(), out.To)
+			st.errs[i] = fmt.Errorf("%w: node %d sent to non-neighbor %d", ErrProtocol, st.envs[i].ID(), out.To)
 			return
 		}
 		dst = append(dst, st.nbIdx[i][pos])

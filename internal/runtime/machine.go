@@ -19,7 +19,6 @@
 package runtime
 
 import (
-	"errors"
 	"fmt"
 )
 
@@ -117,7 +116,7 @@ func (e *Env) Round() int { return e.round }
 // value observed at termination is the node's final output.
 func (e *Env) Output(v any) {
 	if e.terminated {
-		e.fail(errors.New("output after termination"))
+		e.fail(fmt.Errorf("%w: output after termination", ErrProtocol))
 		return
 	}
 	e.output = v
@@ -134,7 +133,7 @@ func (e *Env) CurrentOutput() any { return e.output }
 // A node must have produced an output before terminating.
 func (e *Env) Terminate() {
 	if !e.hasOutput {
-		e.fail(errors.New("terminate without output"))
+		e.fail(fmt.Errorf("%w: terminate without output", ErrProtocol))
 		return
 	}
 	e.terminated = true

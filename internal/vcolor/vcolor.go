@@ -1,6 +1,8 @@
 package vcolor
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/runtime"
 )
@@ -39,12 +41,13 @@ func NewMemory(info runtime.NodeInfo, pred any) any {
 	}
 }
 
-// ForbiddenColors returns the colors output by terminated neighbors.
+// ForbiddenColors returns the colors output by terminated neighbors, sorted.
 func (m *Memory) ForbiddenColors() []int {
 	out := make([]int, 0, len(m.NbrColor))
 	for _, c := range m.NbrColor {
 		out = append(out, c)
 	}
+	sort.Ints(out)
 	return out
 }
 
