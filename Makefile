@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt vet fuzz-smoke all
+.PHONY: build test race lint fmt vet fuzz-smoke list all
 
 all: build lint test
 
@@ -12,6 +12,10 @@ test:
 
 race:
 	$(GO) test -race ./internal/runtime/ ./internal/core/
+
+# The problem/algorithm registry (also the README's algorithm table).
+list:
+	$(GO) run ./cmd/dgp-run -list
 
 # Domain analyzers (internal/analysis, driven by cmd/dgp-lint): map-order
 # determinism, seeded randomness, machine purity, CONGEST payload sizing,

@@ -8,34 +8,14 @@ import (
 	"repro/internal/bench"
 )
 
-// chaosProblem binds one problem to its prediction generator for the
-// degradation sweep.
-type chaosProblem struct {
-	name  string
-	prob  repro.Problem
-	preds func(g *repro.Graph, flips int, seed int64) []int
-}
-
-func chaosProblems() []chaosProblem {
-	return []chaosProblem{
-		{"MIS", repro.ProblemMIS, func(g *repro.Graph, flips int, seed int64) []int {
-			return repro.FlipBits(repro.PerfectMIS(g), flips, repro.NewRand(seed))
-		}},
-		{"matching", repro.ProblemMatching, func(g *repro.Graph, flips int, seed int64) []int {
-			return repro.PerturbMatching(g, repro.PerfectMatching(g), flips, repro.NewRand(seed))
-		}},
-		{"vertex coloring", repro.ProblemVColor, func(g *repro.Graph, flips int, seed int64) []int {
-			return repro.PerturbVColor(g, repro.PerfectVColor(g), flips, repro.NewRand(seed))
-		}},
-	}
-}
-
 // runChaosSweep regenerates the fault-rate × η degradation tables in
-// EXPERIMENTS.md: each problem's Simple Template runs under a seeded chaos
-// adversary and self-heals via RunWithRecovery; cells report the end-to-end
-// rounds (primary + recovery) and the carved residual that the healing run
-// had to re-decide. It lives in this command (not internal/bench) because it
-// drives the public recovery API.
+// EXPERIMENTS.md: the Simple Template of every registered problem with
+// healing machinery runs under a seeded chaos adversary and self-heals via
+// RunProblemWithRecovery; cells report the end-to-end rounds (primary +
+// recovery) and the carved residual that the healing run had to re-decide.
+// Problems whose instances the sweep graphs cannot form (the tree problem
+// needs acyclic graphs) are skipped with a note. It lives in this command
+// (not internal/bench) because it drives the public recovery API.
 func runChaosSweep() error {
 	const (
 		n      = 120
@@ -45,10 +25,22 @@ func runChaosSweep() error {
 	rates := []float64{0, 0.1, 0.25, 0.5}
 	flipss := []int{0, 8, 32}
 
-	for pi, prob := range chaosProblems() {
+	tables := 0
+	for pi, prob := range repro.Problems() {
+		if !prob.CanHeal {
+			continue
+		}
+		// Probe: the sweep's GNP graphs must be valid instances of the
+		// problem (they are cyclic, which the tree problem rejects).
+		probe := repro.GNP(n, p, repro.NewRand(1))
+		if _, err := repro.GeneratePreds(prob.Name, probe, 0, 1); err != nil {
+			fmt.Printf("(skipping %s: %v)\n\n", prob.Name, err)
+			continue
+		}
+		tables++
 		t := &bench.Table{
-			ID:    fmt.Sprintf("CH%d", pi+1),
-			Title: fmt.Sprintf("chaos degradation, %s: GNP(%d, %.2f), Simple Template, self-healing, %d trials", prob.name, n, p, trials),
+			ID:    fmt.Sprintf("CH%d", tables),
+			Title: fmt.Sprintf("chaos degradation, %s: GNP(%d, %.2f), Simple Template, self-healing, %d trials", prob.Name, n, p, trials),
 		}
 		t.Columns = append(t.Columns, "fault rate")
 		for _, f := range flipss {
@@ -62,7 +54,10 @@ func runChaosSweep() error {
 				for trial := 0; trial < trials; trial++ {
 					seed := int64(1000*pi + 100*trial + flips)
 					g := repro.GNP(n, p, repro.NewRand(seed))
-					preds := prob.preds(g, flips, seed+1)
+					preds, err := repro.GeneratePreds(prob.Name, g, flips, seed+1)
+					if err != nil {
+						return fmt.Errorf("chaos sweep %s rate %.2f flips %d: %w", prob.Name, rate, flips, err)
+					}
 					// A modest cap cuts off primaries that drop faults have
 					// wedged (lost notifications break termination detection);
 					// the healing run uses the engine default.
@@ -75,9 +70,9 @@ func runChaosSweep() error {
 							Crash:     rate / 4,
 						})
 					}
-					res, err := repro.RunWithRecovery(g, prob.prob, preds, opts)
+					res, err := repro.RunProblemWithRecovery(g, prob.Name, preds, opts)
 					if err != nil {
-						return fmt.Errorf("chaos sweep %s rate %.2f flips %d: %w", prob.name, rate, flips, err)
+						return fmt.Errorf("chaos sweep %s rate %.2f flips %d: %w", prob.Name, rate, flips, err)
 					}
 					primary += res.PrimaryRounds
 					recovery += res.RecoveryRounds

@@ -1,9 +1,12 @@
 // Command dgp-run executes one (problem, algorithm, graph, prediction)
 // configuration and prints the outcome: rounds, message counts, the error
-// measures of the instance, and optionally the outputs.
+// measures of the instance, and optionally the outputs. Problems and
+// algorithms come from the registry — `dgp-run -list` enumerates every
+// registered pair with its template, reference, and round bound.
 //
 // Usage examples:
 //
+//	dgp-run -list
 //	dgp-run -problem mis -alg parallel -graph gnp -n 200 -p 0.05 -flips 10
 //	dgp-run -problem matching -alg simple -graph grid -n 144 -flips 4
 //	dgp-run -problem tree -alg simple -graph line -n 90 -flips 6 -show
@@ -14,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 )
@@ -27,8 +31,9 @@ func main() {
 
 func run() error {
 	var (
-		problem  = flag.String("problem", "mis", "mis | matching | vcolor | ecolor | tree")
-		alg      = flag.String("alg", "simple", "algorithm within the problem (see -help text per problem)")
+		list     = flag.Bool("list", false, "print the registry (problem, algorithm, template, reference, round bound) and exit")
+		problem  = flag.String("problem", "mis", "a registered problem (see -list)")
+		alg      = flag.String("alg", "simple", "a registered algorithm within the problem (see -list)")
 		gname    = flag.String("graph", "gnp", "gnp | grid | ring | line | tree | clique | star | wheel | paths")
 		n        = flag.Int("n", 100, "node count (side^2 for grid)")
 		p        = flag.Float64("p", 0.05, "edge probability for gnp")
@@ -43,6 +48,11 @@ func run() error {
 		deadline = flag.Duration("deadline", 0, "per-phase watchdog deadline (0 = off)")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Print(repro.RegistryTable())
+		return nil
+	}
 
 	rng := repro.NewRand(*seed)
 	var g *repro.Graph
@@ -97,21 +107,7 @@ func run() error {
 		}
 	}
 
-	var err error
-	switch *problem {
-	case "mis":
-		err = runMIS(g, *alg, *flips, opts, *show)
-	case "matching":
-		err = runMatching(g, *alg, *flips, opts, *show)
-	case "vcolor":
-		err = runVColor(g, *alg, *flips, opts, *show)
-	case "ecolor":
-		err = runEColor(g, *alg, *flips, opts, *show)
-	case "tree":
-		err = runTree(g, *alg, *flips, opts, *show)
-	default:
-		return fmt.Errorf("unknown problem %q", *problem)
-	}
+	err := runProblem(g, *problem, *alg, *flips, opts, *show)
 	if adversary != nil {
 		s := adversary.Stats()
 		fmt.Printf("chaos: dropped=%d duplicated=%d corrupted=%d failedLinks=%d crashed=%d\n",
@@ -128,144 +124,49 @@ func isqrt(n int) int {
 	return s
 }
 
-func runMIS(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
-	algs := map[string]repro.MISAlgorithm{
-		"greedy":      repro.MISGreedy,
-		"uniform":     repro.MISSimpleUniform,
-		"simple":      repro.MISSimple,
-		"bw":          repro.MISSimpleBW,
-		"luby":        repro.MISSimpleLuby,
-		"collect":     repro.MISSimpleCollect,
-		"consecutive": repro.MISConsecutiveCollect,
-		"decomp":      repro.MISConsecutiveDecomp,
-		"interleaved": repro.MISInterleavedDecomp,
-		"parallel":    repro.MISParallelColoring,
+// runProblem is the single registry-driven execution path: generate the
+// problem's predictions, summarize the instance's error measures, run the
+// chosen algorithm, and print the outcome.
+func runProblem(g *repro.Graph, problem, alg string, flips int, opts repro.Options, show bool) error {
+	preds, err := repro.GeneratePreds(problem, g, flips, opts.Seed+1)
+	if err != nil {
+		if problem == "tree" && strings.Contains(err.Error(), "acyclic") {
+			return fmt.Errorf("%w (use -graph line or -graph tree)", err)
+		}
+		return err
 	}
-	a, ok := algs[alg]
-	if !ok {
-		return fmt.Errorf("unknown MIS algorithm %q", alg)
-	}
-	preds := repro.FlipBits(repro.PerfectMIS(g), flips, repro.NewRand(opts.Seed+1))
-	errs, err := repro.MISErrorReport(g, preds)
+	errs, err := repro.ErrorSummary(problem, g, preds)
 	if err != nil {
 		return err
 	}
-	res, err := repro.RunMIS(g, preds, a, opts)
+	res, err := repro.RunProblem(g, problem, alg, preds, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: n=%d m=%d delta=%d\n", g.N(), g.M(), g.MaxDegree())
-	fmt.Printf("errors: eta1=%d eta2=%d eta_bw=%d components=%d\n",
-		errs.Eta1, errs.Eta2, errs.EtaBW, errs.Components)
+	fmt.Printf("errors: %s\n", errs)
 	fmt.Printf("result: rounds=%d messages=%d maxMsgBits=%d\n",
 		res.Run.Rounds, res.Run.Messages, res.Run.MaxMsgBits)
+	if r := res.Recovery; r != nil && !r.Valid {
+		fmt.Printf("healed: residual=%d recoveryRounds=%d\n", r.Residual, r.RecoveryRounds)
+	}
 	if show {
-		fmt.Printf("in-set: %v\n", res.InSet)
+		out := res.Output
+		if out == nil {
+			out = res.EdgeOutput
+		}
+		fmt.Printf("%s: %v\n", outputLabel(problem), out)
 	}
 	return nil
 }
 
-func runMatching(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
-	algs := map[string]repro.MatchingAlgorithm{
-		"greedy":      repro.MatchingGreedy,
-		"simple":      repro.MatchingSimple,
-		"collect":     repro.MatchingSimpleCollect,
-		"consecutive": repro.MatchingConsecutive,
-		"parallel":    repro.MatchingParallel,
+// outputLabel returns the registry's display label for the problem's output
+// vector.
+func outputLabel(problem string) string {
+	for _, p := range repro.Problems() {
+		if p.Name == problem {
+			return p.OutputLabel
+		}
 	}
-	a, ok := algs[alg]
-	if !ok {
-		return fmt.Errorf("unknown matching algorithm %q", alg)
-	}
-	preds := repro.PerturbMatching(g, repro.PerfectMatching(g), flips, repro.NewRand(opts.Seed+1))
-	res, err := repro.RunMatching(g, preds, a, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("errors: eta1=%d\n", repro.MatchingEta1(g, preds))
-	fmt.Printf("result: rounds=%d messages=%d\n", res.Run.Rounds, res.Run.Messages)
-	if show {
-		fmt.Printf("partners: %v\n", res.Partner)
-	}
-	return nil
-}
-
-func runVColor(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
-	algs := map[string]repro.VColorAlgorithm{
-		"greedy":      repro.VColorGreedy,
-		"simple":      repro.VColorSimple,
-		"linial":      repro.VColorSimpleLinial,
-		"consecutive": repro.VColorConsecutive,
-		"standalone":  repro.VColorLinial,
-		"interleaved": repro.VColorInterleaved,
-		"parallel":    repro.VColorParallel,
-	}
-	a, ok := algs[alg]
-	if !ok {
-		return fmt.Errorf("unknown vertex-coloring algorithm %q", alg)
-	}
-	preds := repro.PerturbVColor(g, repro.PerfectVColor(g), flips, repro.NewRand(opts.Seed+1))
-	res, err := repro.RunVColor(g, preds, a, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("errors: eta1=%d\n", repro.VColorEta1(g, preds))
-	fmt.Printf("result: rounds=%d messages=%d\n", res.Run.Rounds, res.Run.Messages)
-	if show {
-		fmt.Printf("colors: %v\n", res.Color)
-	}
-	return nil
-}
-
-func runEColor(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
-	algs := map[string]repro.EColorAlgorithm{
-		"greedy":      repro.EColorGreedy,
-		"simple":      repro.EColorSimple,
-		"collect":     repro.EColorSimpleCollect,
-		"consecutive": repro.EColorConsecutive,
-		"parallel":    repro.EColorParallel,
-	}
-	a, ok := algs[alg]
-	if !ok {
-		return fmt.Errorf("unknown edge-coloring algorithm %q", alg)
-	}
-	preds := repro.PerturbEColor(g, repro.PerfectEColor(g), flips, repro.NewRand(opts.Seed+1))
-	res, err := repro.RunEColor(g, preds, a, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("errors: eta1=%d\n", repro.EColorEta1(g, preds))
-	fmt.Printf("result: rounds=%d messages=%d\n", res.Run.Rounds, res.Run.Messages)
-	if show {
-		fmt.Printf("edge colors: %v\n", res.EdgeColor)
-	}
-	return nil
-}
-
-func runTree(g *repro.Graph, alg string, flips int, opts repro.Options, show bool) error {
-	r := repro.RootAt(g, 0)
-	if g.M() >= g.N() {
-		return fmt.Errorf("tree problem requires an acyclic graph (use -graph line or -graph tree)")
-	}
-	algs := map[string]repro.TreeMISAlgorithm{
-		"greedy":      repro.TreeRootsLeaves,
-		"simple":      repro.TreeSimple,
-		"parallel":    repro.TreeParallel,
-		"consecutive": repro.TreeConsecutive,
-	}
-	a, ok := algs[alg]
-	if !ok {
-		return fmt.Errorf("unknown tree algorithm %q", alg)
-	}
-	preds := repro.FlipBits(repro.PerfectMIS(g), flips, repro.NewRand(opts.Seed+1))
-	res, err := repro.RunTreeMIS(r, preds, a, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("errors: eta_t=%d\n", repro.TreeEtaT(r, preds))
-	fmt.Printf("result: rounds=%d messages=%d\n", res.Run.Rounds, res.Run.Messages)
-	if show {
-		fmt.Printf("in-set: %v\n", res.InSet)
-	}
-	return nil
+	return "output"
 }

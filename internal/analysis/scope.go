@@ -29,6 +29,7 @@ var DeterministicPkgs = []string{
 	"internal/check",
 	"internal/stats",
 	"internal/bench",
+	"internal/problem",
 }
 
 // SeededPkgs are the suffixes of packages where every random draw and clock
@@ -41,6 +42,10 @@ var SeededPkgs = []string{
 	"internal/predict",
 	"internal/tree",
 	"internal/bench",
+	"internal/mis",
+	"internal/matching",
+	"internal/vcolor",
+	"internal/ecolor",
 }
 
 // WrapErrPkgs are the suffixes of the framework packages whose errors must

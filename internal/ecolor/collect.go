@@ -148,24 +148,26 @@ func Solo(stage core.Stage) runtime.Factory {
 // SimpleGreedy is the Simple Template for edge coloring: the base algorithm
 // followed by the distance-2 measure-uniform algorithm.
 func SimpleGreedy() runtime.Factory {
-	return core.Sequence(NewMemory, Base(), MeasureUniform(0))
+	return core.Simple(NewMemory, Base(), MeasureUniform(0))
 }
 
 // SimpleCollect is the Simple Template with the collect-and-solve reference.
 func SimpleCollect() runtime.Factory {
-	return core.Sequence(NewMemory, Base(), Collect())
+	return core.Simple(NewMemory, Base(), Collect())
 }
 
 // ConsecutiveCollect is the Consecutive Template: base, the measure-uniform
-// algorithm for r(n)+c'(n) rounds (rounded to a group boundary), clean-up,
-// then the reference.
+// algorithm for r(n)+c'(n) rounds (rounded up to an even group boundary),
+// clean-up, then the reference.
 func ConsecutiveCollect() runtime.Factory {
-	return func(info runtime.NodeInfo, pred any) runtime.Machine {
-		budget := CollectBound(info) + 1
-		if budget%2 == 1 {
-			budget++
-		}
-		seq := core.Sequence(NewMemory, Base(), MeasureUniform(budget), Cleanup(), Collect())
-		return seq(info, pred)
-	}
+	cleanup := Cleanup()
+	return core.Consecutive(core.ConsecutiveSpec{
+		Mem:    NewMemory,
+		B:      Base(),
+		U:      MeasureUniform,
+		Budget: func(info runtime.NodeInfo) int { return CollectBound(info) + 1 },
+		Align:  2,
+		C:      &cleanup,
+		Ref:    core.FixedRef(Collect()),
+	})
 }

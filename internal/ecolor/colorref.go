@@ -157,11 +157,7 @@ func ParallelColoring() runtime.Factory {
 		U:   MeasureUniform(0).New,
 		R1:  linegraph.Part1(),
 		R1Budget: func(info runtime.NodeInfo) int {
-			b := linegraph.Rounds(info.D, info.Delta)
-			if b%2 == 1 {
-				b++
-			}
-			return b
+			return core.AlignUp(linegraph.Rounds(info.D, info.Delta), 2)
 		},
 		C:  &cleanup,
 		R2: ColorToEdges(),

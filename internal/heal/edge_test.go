@@ -1,9 +1,10 @@
-package heal
+package heal_test
 
 import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/heal"
 	"repro/internal/mis"
 	"repro/internal/runtime"
 	"repro/internal/verify"
@@ -15,24 +16,24 @@ func TestCarveSingleNode(t *testing.T) {
 	g := graph.NewBuilder(1).MustBuild()
 	t.Run("mis", func(t *testing.T) {
 		// An isolated in-set node stands.
-		partial, residual := CarveMIS(g, []int{1})
+		partial, residual := heal.CarveMIS(g, []int{1})
 		if partial[0] != 1 || len(residual) != 0 {
 			t.Fatalf("valid singleton MIS carved to %v / %v", partial, residual)
 		}
 		// An isolated out-of-set node has no in-set neighbor: unjustified.
-		partial, residual = CarveMIS(g, []int{0})
+		partial, residual = heal.CarveMIS(g, []int{0})
 		if partial[0] != verify.Undecided || len(residual) != 1 {
 			t.Fatalf("unjustified 0 survived: %v / %v", partial, residual)
 		}
 	})
 	t.Run("matching", func(t *testing.T) {
 		// Decided-unmatched with no neighbors is maximal.
-		partial, residual := CarveMatching(g, []int{0})
+		partial, residual := heal.CarveMatching(g, []int{0})
 		if partial[0] != 0 || len(residual) != 0 {
 			t.Fatalf("isolated unmatched carved to %v / %v", partial, residual)
 		}
 		// A partner identifier with no such neighbor is invalid.
-		partial, _ = CarveMatching(g, []int{7})
+		partial, _ = heal.CarveMatching(g, []int{7})
 		if partial[0] != 0 {
 			// The clean-up closes it back to unmatched (all zero neighbors
 			// are matched, vacuously).
@@ -41,11 +42,11 @@ func TestCarveSingleNode(t *testing.T) {
 	})
 	t.Run("vcolor", func(t *testing.T) {
 		// Palette is Δ+1 = 1: color 1 stands, color 2 is out of palette.
-		partial, residual := CarveVColor(g, []int{1})
+		partial, residual := heal.CarveVColor(g, []int{1})
 		if partial[0] != 1 || len(residual) != 0 {
 			t.Fatalf("valid singleton color carved to %v / %v", partial, residual)
 		}
-		partial, residual = CarveVColor(g, []int{2})
+		partial, residual = heal.CarveVColor(g, []int{2})
 		if partial[0] != verify.Undecided || len(residual) != 1 {
 			t.Fatalf("out-of-palette color survived: %v / %v", partial, residual)
 		}
@@ -66,9 +67,9 @@ func TestCarveEmptyPartial(t *testing.T) {
 		fn   func(*graph.Graph, []int) ([]int, []int)
 		chk  func(*graph.Graph, []int) error
 	}{
-		{"mis", CarveMIS, verify.MISPartialExtendable},
-		{"matching", CarveMatching, verify.MatchingPartialExtendable},
-		{"vcolor", CarveVColor, func(g *graph.Graph, out []int) error {
+		{"mis", heal.CarveMIS, verify.MISPartialExtendable},
+		{"matching", heal.CarveMatching, verify.MatchingPartialExtendable},
+		{"vcolor", heal.CarveVColor, func(g *graph.Graph, out []int) error {
 			return verify.VColorPartial(g, out, g.MaxDegree()+1)
 		}},
 	} {
@@ -93,7 +94,7 @@ func TestCarveEmptyPartial(t *testing.T) {
 // before every node reported) are padded with undecided, not misread.
 func TestCarveShortVector(t *testing.T) {
 	g := graph.Line(5)
-	partial, residual := CarveMIS(g, []int{1, 0})
+	partial, residual := heal.CarveMIS(g, []int{1, 0})
 	if len(partial) != g.N() {
 		t.Fatalf("partial has %d entries, want %d", len(partial), g.N())
 	}
@@ -110,7 +111,7 @@ func TestCarveShortVector(t *testing.T) {
 // partial solution: the healing run re-solves from scratch).
 func TestRunRecoveredSingleNode(t *testing.T) {
 	g := graph.NewBuilder(1).MustBuild()
-	report, err := RunRecovered(runtime.Config{
+	report, err := heal.RunRecovered(runtime.Config{
 		Graph:   g,
 		Factory: mis.SimpleGreedy(),
 	}, misSpec())
@@ -121,7 +122,7 @@ func TestRunRecoveredSingleNode(t *testing.T) {
 		t.Fatalf("clean single-node run not valid: %+v", report)
 	}
 
-	report, err = RunRecovered(runtime.Config{
+	report, err = heal.RunRecovered(runtime.Config{
 		Graph:   g,
 		Factory: mis.SimpleGreedy(),
 		Crashes: map[int]int{0: 1},

@@ -1,10 +1,11 @@
-package heal
+package heal_test
 
 import (
 	"math/rand"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/heal"
 	"repro/internal/verify"
 )
 
@@ -36,19 +37,19 @@ func FuzzCarve(f *testing.F) {
 			}
 			damaged[i] = b - 120 // wide range: negatives, Undecided, valid, huge
 		}
-		partial, residual := CarveMIS(g, damaged)
+		partial, residual := heal.CarveMIS(g, damaged)
 		if err := verify.MISPartialExtendable(g, partial); err != nil {
 			t.Fatalf("carved MIS not extendable: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
 		}
 		checkResidual(t, partial, residual)
 
-		partial, residual = CarveMatching(g, damaged)
+		partial, residual = heal.CarveMatching(g, damaged)
 		if err := verify.MatchingPartialExtendable(g, partial); err != nil {
 			t.Fatalf("carved matching not extendable: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
 		}
 		checkResidual(t, partial, residual)
 
-		partial, residual = CarveVColor(g, damaged)
+		partial, residual = heal.CarveVColor(g, damaged)
 		if err := verify.VColorPartial(g, partial, g.MaxDegree()+1); err != nil {
 			t.Fatalf("carved coloring not proper: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
 		}

@@ -1,10 +1,11 @@
-package heal
+package heal_test
 
 import (
 	"math/rand"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/heal"
 	"repro/internal/matching"
 	"repro/internal/mis"
 	"repro/internal/runtime"
@@ -26,7 +27,7 @@ func TestCarveFuzz(t *testing.T) {
 			for i := range damaged {
 				damaged[i] = rng.Intn(5) - 2 // {-2..2}: invalid, undecided, valid
 			}
-			partial, residual := CarveMIS(g, damaged)
+			partial, residual := heal.CarveMIS(g, damaged)
 			if err := verify.MISPartialExtendable(g, partial); err != nil {
 				t.Fatalf("carved MIS not extendable: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
 			}
@@ -49,7 +50,7 @@ func TestCarveFuzz(t *testing.T) {
 					}
 				}
 			}
-			partial, residual := CarveMatching(g, damaged)
+			partial, residual := heal.CarveMatching(g, damaged)
 			if err := verify.MatchingPartialExtendable(g, partial); err != nil {
 				t.Fatalf("carved matching not extendable: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
 			}
@@ -60,7 +61,7 @@ func TestCarveFuzz(t *testing.T) {
 			for i := range damaged {
 				damaged[i] = rng.Intn(palette+3) - 1 // under, in, and over palette
 			}
-			partial, residual := CarveVColor(g, damaged)
+			partial, residual := heal.CarveVColor(g, damaged)
 			if err := verify.VColorPartial(g, partial, palette); err != nil {
 				t.Fatalf("carved coloring not proper: %v\ndamaged: %v\npartial: %v", err, damaged, partial)
 			}
@@ -97,7 +98,7 @@ func TestCarveValidIsIdentity(t *testing.T) {
 	if err := verify.MIS(g, out); err != nil {
 		t.Fatal(err)
 	}
-	partial, residual := CarveMIS(g, out)
+	partial, residual := heal.CarveMIS(g, out)
 	if len(residual) != 0 {
 		t.Fatalf("valid MIS left residual %v", residual)
 	}
@@ -108,10 +109,10 @@ func TestCarveValidIsIdentity(t *testing.T) {
 	}
 }
 
-func misSpec() Spec {
-	return Spec{
+func misSpec() heal.Spec {
+	return heal.Spec{
 		Verify:        verify.MIS,
-		Carve:         CarveMIS,
+		Carve:         heal.CarveMIS,
 		HealFactory:   mis.SimpleGreedy(),
 		UndecidedPred: 0,
 	}
@@ -124,7 +125,7 @@ func TestRunRecoveredMIS(t *testing.T) {
 	sawDamage := false
 	for trial := 0; trial < 15; trial++ {
 		g := graph.GNP(25+rng.Intn(20), 0.15, rng)
-		report, err := RunRecovered(runtime.Config{
+		report, err := heal.RunRecovered(runtime.Config{
 			Graph:     g,
 			Factory:   mis.SimpleGreedy(),
 			MaxRounds: 80,
@@ -159,7 +160,7 @@ func TestRunRecoveredFromAbort(t *testing.T) {
 	sawAbort := false
 	for trial := 0; trial < 10; trial++ {
 		g := graph.GNP(30, 0.2, rng)
-		report, err := RunRecovered(runtime.Config{
+		report, err := heal.RunRecovered(runtime.Config{
 			Graph:     g,
 			Factory:   mis.SimpleGreedy(),
 			MaxRounds: 80,
@@ -185,19 +186,19 @@ func TestRunRecoveredMatchingAndVColor(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	specs := []struct {
 		name string
-		spec Spec
+		spec heal.Spec
 		fac  runtime.Factory
 		chk  func(g *graph.Graph, out []int) error
 	}{
-		{"matching", Spec{
+		{"matching", heal.Spec{
 			Verify:        verify.Matching,
-			Carve:         CarveMatching,
+			Carve:         heal.CarveMatching,
 			HealFactory:   matching.SimpleGreedy(),
 			UndecidedPred: 0,
 		}, matching.SimpleGreedy(), verify.Matching},
-		{"vcolor", Spec{
+		{"vcolor", heal.Spec{
 			Verify:        verify.VColor,
-			Carve:         CarveVColor,
+			Carve:         heal.CarveVColor,
 			HealFactory:   vcolor.SimpleGreedy(),
 			UndecidedPred: 0,
 		}, vcolor.SimpleGreedy(), verify.VColor},
@@ -206,7 +207,7 @@ func TestRunRecoveredMatchingAndVColor(t *testing.T) {
 		t.Run(s.name, func(t *testing.T) {
 			for trial := 0; trial < 10; trial++ {
 				g := graph.GNP(25, 0.2, rng)
-				report, err := RunRecovered(runtime.Config{
+				report, err := heal.RunRecovered(runtime.Config{
 					Graph:     g,
 					Factory:   s.fac,
 					MaxRounds: 120,
@@ -227,7 +228,7 @@ func TestRunRecoveredMatchingAndVColor(t *testing.T) {
 // not something to heal.
 func TestRunRecoveredConfigError(t *testing.T) {
 	g := graph.Line(3)
-	_, err := RunRecovered(runtime.Config{
+	_, err := heal.RunRecovered(runtime.Config{
 		Graph:   g,
 		Factory: mis.SimpleGreedy(),
 		Crashes: map[int]int{9: 1},

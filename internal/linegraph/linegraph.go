@@ -43,6 +43,16 @@ func Rounds(d, delta int) int {
 	return vcolor.Rounds(d*d, 2*delta-2)
 }
 
+// EngineCap returns a safe engine round cap for the algorithms whose
+// reference is the line-graph Linial coloring: the engine's O(n)-algorithm
+// default (8n+64) plus the coloring's bound, two rounds per color class of
+// the 2Δ−1 palette, and slack for the surrounding template stages. The
+// reference can legitimately exceed the plain default on small dense graphs
+// (its bound is O(Δ²·polylog), the documented substitution cost).
+func EngineCap(n, d, delta int) int {
+	return 8*n + 64 + Rounds(d, delta) + 2*(2*delta+1) + 16
+}
+
 // sync is the per-edge message: the sender's view of the shared edge's
 // color and the colors of the sender's other live edges.
 type sync struct {

@@ -121,29 +121,31 @@ func Solo(stage core.Stage) runtime.Factory {
 // SimpleGreedy is the Simple Template for maximal matching: initialization
 // followed by the measure-uniform proposal algorithm.
 func SimpleGreedy() runtime.Factory {
-	return core.Sequence(NewMemory, Init(), MeasureUniform(0))
+	return core.Simple(NewMemory, Init(), MeasureUniform(0))
 }
 
 // SimpleBase is SimpleGreedy with the Base Algorithm as initialization.
 func SimpleBase() runtime.Factory {
-	return core.Sequence(NewMemory, Base(), MeasureUniform(0))
+	return core.Simple(NewMemory, Base(), MeasureUniform(0))
 }
 
 // SimpleCollect is the Simple Template with the collect-and-solve reference.
 func SimpleCollect() runtime.Factory {
-	return core.Sequence(NewMemory, Init(), Collect())
+	return core.Simple(NewMemory, Init(), Collect())
 }
 
 // ConsecutiveCollect is the Consecutive Template: initialization, the
-// measure-uniform algorithm for r(n)+c'(n) rounds (rounded up to a group
-// boundary), clean-up, then the reference.
+// measure-uniform algorithm for r(n)+c'(n) rounds (rounded up to a 3-round
+// proposal-group boundary), clean-up, then the reference.
 func ConsecutiveCollect() runtime.Factory {
-	return func(info runtime.NodeInfo, pred any) runtime.Machine {
-		budget := CollectBound(info) + 1
-		if rem := budget % 3; rem != 0 {
-			budget += 3 - rem
-		}
-		seq := core.Sequence(NewMemory, Init(), MeasureUniform(budget), Cleanup(), Collect())
-		return seq(info, pred)
-	}
+	cleanup := Cleanup()
+	return core.Consecutive(core.ConsecutiveSpec{
+		Mem:    NewMemory,
+		B:      Init(),
+		U:      MeasureUniform,
+		Budget: func(info runtime.NodeInfo) int { return CollectBound(info) + 1 },
+		Align:  3,
+		C:      &cleanup,
+		Ref:    core.FixedRef(Collect()),
+	})
 }

@@ -122,11 +122,7 @@ func ParallelColoring() runtime.Factory {
 		U:   MeasureUniform(0).New,
 		R1:  EdgeColorPart1(),
 		R1Budget: func(info runtime.NodeInfo) int {
-			b := EdgeColorRounds(info.D, info.Delta)
-			if rem := b % 3; rem != 0 {
-				b += 3 - rem
-			}
-			return b
+			return core.AlignUp(EdgeColorRounds(info.D, info.Delta), 3)
 		},
 		C:  &cleanup,
 		R2: ColorToMatching(),

@@ -192,7 +192,7 @@ func TestParallelEngineMatchesSequential(t *testing.T) {
 
 func TestParallelColoringBound(t *testing.T) {
 	// Corollary 12: rounds <= min{eta2 + 4, O(Delta + log* d)}; in this
-	// implementation the second term is 3 + evenBudget(vcolor.Rounds) +
+	// implementation the second term is 3 + AlignUp(vcolor.Rounds, 2) +
 	// palette + 2 or so. We check the eta2 + 4 side, which is the paper's
 	// headline degradation bound.
 	for name, g := range testGraphs(t) {

@@ -17,40 +17,48 @@ func Solo(stage core.Stage) runtime.Factory {
 // MIS Initialization Algorithm and the Greedy MIS Algorithm: consistency 3,
 // round complexity at most η₁+3 (Lemma 1) and η₂+4 (Lemma 2).
 func SimpleGreedy() runtime.Factory {
-	return core.Sequence(NewMemory, Init(), Greedy())
+	return core.Simple(NewMemory, Init(), Greedy())
 }
 
 // SimpleBase is SimpleGreedy but starting from the Base Algorithm instead of
 // the Initialization Algorithm (for comparing initializations).
 func SimpleBase() runtime.Factory {
-	return core.Sequence(NewMemory, Base(), Greedy())
+	return core.Simple(NewMemory, Base(), Greedy())
 }
 
 // SimpleBW is the Section 9.1 algorithm: initialization followed by the
 // black/white alternating measure-uniform algorithm, whose round complexity
 // tracks η_bw rather than η₁.
 func SimpleBW() runtime.Factory {
-	return core.Sequence(NewMemory, Init(), BWGreedy(0))
+	return core.Simple(NewMemory, Init(), BWGreedy(0))
 }
 
 // SimpleLuby is the Section 10 discussion: Luby's randomized algorithm as
 // the reference of the Simple Template.
 func SimpleLuby(seed int64) runtime.Factory {
-	return core.Sequence(NewMemory, Init(), Luby(seed))
+	return core.Simple(NewMemory, Init(), Luby(seed))
 }
 
 // SimpleCollect is the Simple Template with the collect-and-solve reference.
 func SimpleCollect() runtime.Factory {
-	return core.Sequence(NewMemory, Init(), Collect())
+	return core.Simple(NewMemory, Init(), Collect())
 }
 
-// evenBudget rounds a measure-uniform budget up to an even number of rounds
-// so the interruption point carries an extendable partial solution.
-func evenBudget(r int) int {
-	if r%2 == 1 {
-		return r + 1
-	}
-	return r
+// consecutiveSpec shares the MIS Consecutive Template wiring: initialization,
+// Greedy budgeted at the reference's bound plus one (rounded up to even so
+// the interruption point carries an extendable partial solution), the
+// one-round clean-up, then the reference.
+func consecutiveSpec(budget func(runtime.NodeInfo) int, ref core.Stage) runtime.Factory {
+	cleanup := Cleanup()
+	return core.Consecutive(core.ConsecutiveSpec{
+		Mem:    NewMemory,
+		B:      Init(),
+		U:      GreedyBudget,
+		Budget: budget,
+		Align:  2,
+		C:      &cleanup,
+		Ref:    core.FixedRef(ref),
+	})
 }
 
 // ConsecutiveCollect is the Consecutive Template (Lemma 8) with the
@@ -58,29 +66,17 @@ func evenBudget(r int) int {
 // the one-round clean-up, then the reference. Consistency 3, 2η-degrading,
 // robust with respect to the reference.
 func ConsecutiveCollect() runtime.Factory {
-	budget := func(info runtime.NodeInfo) int {
-		return evenBudget(CollectBound(info) + 1)
-	}
-	return consecutive(budget, Collect())
+	return consecutiveSpec(func(info runtime.NodeInfo) int {
+		return CollectBound(info) + 1
+	}, Collect())
 }
 
 // ConsecutiveDecomp is the Consecutive Template with the decomposition
 // reference (the stand-in for the paper's Ghaffari–Grunau reference [30]).
 func ConsecutiveDecomp(seed int64) runtime.Factory {
-	budget := func(info runtime.NodeInfo) int {
-		return evenBudget(decomp.Bound(info) + 1)
-	}
-	return consecutive(budget, decomp.Stage(seed))
-}
-
-// consecutive assembles Sequence(Init, Greedy(budget), Cleanup, R) with a
-// per-node budget function; the budget is evaluated per node from static
-// information, as the paper requires (all nodes compute the same value).
-func consecutive(budget func(runtime.NodeInfo) int, ref core.Stage) runtime.Factory {
-	return func(info runtime.NodeInfo, pred any) runtime.Machine {
-		seq := core.Sequence(NewMemory, Init(), GreedyBudget(budget(info)), Cleanup(), ref)
-		return seq(info, pred)
-	}
+	return consecutiveSpec(func(info runtime.NodeInfo) int {
+		return decomp.Bound(info) + 1
+	}, decomp.Stage(seed))
 }
 
 // ConsecutiveTradeoff is the Section 10 open-problem exploration: the
@@ -94,10 +90,10 @@ func consecutive(budget func(runtime.NodeInfo) int, ref core.Stage) runtime.Fact
 // stage entirely.
 func ConsecutiveTradeoff(lambda float64, seed int64) runtime.Factory {
 	return func(info runtime.NodeInfo, pred any) runtime.Machine {
-		budget := evenBudget(int(lambda * float64(info.N)))
+		budget := core.AlignUp(int(lambda*float64(info.N)), 2)
 		var seq runtime.Factory
 		if budget <= 0 {
-			seq = core.Sequence(NewMemory, Init(), decomp.Stage(seed))
+			seq = core.Simple(NewMemory, Init(), decomp.Stage(seed))
 		} else {
 			seq = core.Sequence(NewMemory, Init(), GreedyBudget(budget), Cleanup(), decomp.Stage(seed))
 		}
@@ -126,7 +122,7 @@ func ParallelColoring() runtime.Factory {
 		U:   Greedy().New,
 		R1:  vcolor.LinialPart1(),
 		R1Budget: func(info runtime.NodeInfo) int {
-			return evenBudget(vcolor.Rounds(info.D, info.Delta))
+			return core.AlignUp(vcolor.Rounds(info.D, info.Delta), 2)
 		},
 		C:  nil,
 		R2: ColorToMIS(),

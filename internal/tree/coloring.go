@@ -226,11 +226,7 @@ func ParallelColoring(r *Rooted) runtime.Factory {
 		U:   RootsAndLeaves(0).New,
 		R1:  ColoringPart1(),
 		R1Budget: func(info runtime.NodeInfo) int {
-			b := CVRounds(info.D)
-			if b%2 == 1 {
-				b++
-			}
-			return b
+			return core.AlignUp(CVRounds(info.D), 2)
 		},
 		C:  nil,
 		R2: MISFrom3Coloring(),

@@ -232,25 +232,26 @@ func Solo(r *Rooted, stage core.Stage) runtime.Factory {
 // clean-up, then the GPS 3-coloring and its two-round conversion run as two
 // sequential reference stages.
 func ConsecutiveColoring(r *Rooted) runtime.Factory {
-	return func(info runtime.NodeInfo, pred any) runtime.Machine {
-		budget := CVRounds(info.D) + 2 + 1
-		if budget%2 == 1 {
-			budget++
-		}
-		seq := core.Sequence(NewMemory(r),
-			Init(),
-			RootsAndLeaves(budget),
-			Cleanup(),
-			core.Stage{Name: "tree/cv", Budget: CVRounds(info.D), New: ColoringPart1()},
-			core.Stage{Name: "tree/conv", New: MISFrom3Coloring()},
-		)
-		return seq(info, pred)
-	}
+	cleanup := Cleanup()
+	return core.Consecutive(core.ConsecutiveSpec{
+		Mem:    NewMemory(r),
+		B:      Init(),
+		U:      RootsAndLeaves,
+		Budget: func(info runtime.NodeInfo) int { return CVRounds(info.D) + 2 + 1 },
+		Align:  2,
+		C:      &cleanup,
+		Ref: func(info runtime.NodeInfo) []core.Stage {
+			return []core.Stage{
+				{Name: "tree/cv", Budget: CVRounds(info.D), New: ColoringPart1()},
+				{Name: "tree/conv", New: MISFrom3Coloring()},
+			}
+		},
+	})
 }
 
 // SimpleRootsLeaves is the Simple Template on rooted trees: the rooted-tree
 // initialization followed by Algorithm 6; round complexity at most
 // ⌈η_t/2⌉+5 (Section 9.2).
 func SimpleRootsLeaves(r *Rooted) runtime.Factory {
-	return core.Sequence(NewMemory(r), Init(), RootsAndLeaves(0))
+	return core.Simple(NewMemory(r), Init(), RootsAndLeaves(0))
 }

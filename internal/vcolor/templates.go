@@ -15,31 +15,34 @@ func Solo(stage core.Stage) runtime.Factory {
 // algorithm. Consistency 2, η₁-degrading (the measure-uniform algorithm
 // finishes a component of s nodes in at most s rounds).
 func SimpleGreedy() runtime.Factory {
-	return core.Sequence(NewMemory, Init(), MeasureUniform(0))
+	return core.Simple(NewMemory, Init(), MeasureUniform(0))
 }
 
 // SimpleBase is SimpleGreedy starting from the Base Algorithm.
 func SimpleBase() runtime.Factory {
-	return core.Sequence(NewMemory, Base(), MeasureUniform(0))
+	return core.Simple(NewMemory, Base(), MeasureUniform(0))
 }
 
 // SimpleLinial is the Simple Template with the list-aware Linial reference:
 // consistent, with worst-case round complexity 2 + RoundsList(d, Δ)
 // independent of the prediction error.
 func SimpleLinial() runtime.Factory {
-	return core.Sequence(NewMemory, Init(), LinialList())
+	return core.Simple(NewMemory, Init(), LinialList())
 }
 
 // ConsecutiveLinial is the Consecutive Template (no clean-up stage is needed
-// for this problem, Section 8.2): initialization, the measure-uniform
+// for this problem, Section 8.2, and any interruption point is extendable,
+// so no budget alignment either): initialization, the measure-uniform
 // algorithm for r(n, Δ, d) rounds, then the list-aware Linial reference.
 // Consistency 2, 2η₁-degrading, robust with respect to the reference.
 func ConsecutiveLinial() runtime.Factory {
-	return func(info runtime.NodeInfo, pred any) runtime.Machine {
-		budget := RoundsList(info.D, info.Delta)
-		seq := core.Sequence(NewMemory, Init(), MeasureUniform(budget), LinialList())
-		return seq(info, pred)
-	}
+	return core.Consecutive(core.ConsecutiveSpec{
+		Mem:    NewMemory,
+		B:      Init(),
+		U:      MeasureUniform,
+		Budget: func(info runtime.NodeInfo) int { return RoundsList(info.D, info.Delta) },
+		Ref:    core.FixedRef(LinialList()),
+	})
 }
 
 // InterleavedLinial is the Interleaved Template for vertex coloring: slices

@@ -7,10 +7,13 @@ import (
 	"repro"
 )
 
-// The integration matrix: every problem × algorithm × graph family × error
-// level, with validity checked by the public runners and consistency /
-// degradation bounds asserted where the paper proves them. This is the
-// repository's broadest regression net.
+// The integration matrix is registry-driven: TestRegistryMatrix runs every
+// registered (problem, algorithm) pair — whatever is registered, with no
+// hand-maintained enumeration — on three graph families under both engine
+// modes and validates each output with the problem's distributed checker.
+// TestMatrixBounds then asserts the paper's consistency and degradation
+// bounds for the algorithms where they are proved. This is the repository's
+// broadest regression net.
 
 type matrixGraph struct {
 	name string
@@ -34,159 +37,185 @@ func matrixGraphs() []matrixGraph {
 	}
 }
 
+// registryGraphsFor picks the three-family sweep for a problem: acyclic
+// instances for the tree problem, general graphs for the rest.
+func registryGraphsFor(p repro.ProblemInfo) []matrixGraph {
+	rng := repro.NewRand(777)
+	if p.Name == "tree" {
+		return []matrixGraph{
+			{"line33", repro.Line(33)},
+			{"star21", repro.Star(21)},
+			{"tree38", repro.RandomTree(38, rng)},
+		}
+	}
+	return []matrixGraph{
+		{"ring34", repro.Ring(34)},
+		{"grid6x7", repro.Grid2D(6, 7)},
+		{"gnp45", repro.GNP(45, 0.1, rng)},
+	}
+}
+
+// TestRegistryMatrix: every registered (problem, algorithm) pair × three
+// graph families × two error levels, under both engine modes. The two
+// engines must agree on the output, and the problem's constant-round
+// distributed checker must accept it.
+func TestRegistryMatrix(t *testing.T) {
+	problems := repro.Problems()
+	if len(problems) < 5 {
+		t.Fatalf("registry lists %d problems, want at least 5", len(problems))
+	}
+	for _, p := range problems {
+		for _, mg := range registryGraphsFor(p) {
+			for _, flips := range []int{0, 4} {
+				preds, err := repro.GeneratePreds(p.Name, mg.g, flips, int64(flips)+9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, a := range p.Algorithms {
+					a := a
+					t.Run(fmt.Sprintf("%s/%s/%s/k%d", p.Name, a.Name, mg.name, flips), func(t *testing.T) {
+						seq, err := repro.RunProblem(mg.g, p.Name, a.Name, preds, repro.Options{Seed: 5})
+						if err != nil {
+							t.Fatal(err)
+						}
+						par, err := repro.RunProblem(mg.g, p.Name, a.Name, preds, repro.Options{Seed: 5, Parallel: true})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if fmt.Sprint(seq.Output, seq.EdgeOutput) != fmt.Sprint(par.Output, par.EdgeOutput) {
+							t.Errorf("engines disagree:\nseq: %v %v\npar: %v %v",
+								seq.Output, seq.EdgeOutput, par.Output, par.EdgeOutput)
+						}
+						cr, err := repro.CheckSolution(mg.g, p.Name, seq, repro.Options{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !cr.AllAccept {
+							t.Errorf("distributed checker rejected the output")
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
 var matrixErrorLevels = []int{0, 1, 5, 1 << 30 /* capped to n: everything */}
 
-func TestMatrixMIS(t *testing.T) {
-	algs := map[string]repro.MISAlgorithm{
-		"greedy":      repro.MISGreedy,
-		"simple":      repro.MISSimple,
-		"base":        repro.MISSimpleBase,
-		"bw":          repro.MISSimpleBW,
-		"luby":        repro.MISSimpleLuby,
-		"collect":     repro.MISSimpleCollect,
-		"consC":       repro.MISConsecutiveCollect,
-		"consD":       repro.MISConsecutiveDecomp,
-		"interleaved": repro.MISInterleavedDecomp,
-		"parallel":    repro.MISParallelColoring,
-		"uniform":     repro.MISSimpleUniform,
-	}
-	for _, mg := range matrixGraphs() {
-		perfect := repro.PerfectMIS(mg.g)
-		for _, k := range matrixErrorLevels {
-			preds := repro.FlipBits(perfect, k, repro.NewRand(int64(k)+9))
-			errs, err := repro.MISErrorReport(mg.g, preds)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for aname, alg := range algs {
-				aname, alg := aname, alg
-				t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
-					res, err := repro.RunMIS(mg.g, preds, alg, repro.Options{Seed: 5})
-					if err != nil {
-						t.Fatal(err)
-					}
-					// Consistency: prediction-consuming algorithms finish
-					// within the initialization when eta = 0.
-					if errs.Eta1 == 0 && alg != repro.MISGreedy && alg != repro.MISLubySolo {
-						if res.Run.Rounds > 3 {
+// TestMatrixBounds asserts the paper's consistency and degradation bounds on
+// the full graph list: prediction-consuming algorithms finish within the
+// initialization when η = 0, and the η-degrading algorithms stay within
+// their proved round bounds.
+func TestMatrixBounds(t *testing.T) {
+	t.Run("mis", func(t *testing.T) {
+		for _, mg := range matrixGraphs() {
+			perfect := repro.PerfectMIS(mg.g)
+			for _, k := range matrixErrorLevels {
+				preds := repro.FlipBits(perfect, k, repro.NewRand(int64(k)+9))
+				errs, err := repro.MISErrorReport(mg.g, preds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, aname := range []string{"greedy", "simple", "base", "bw", "luby", "collect", "consecutive", "decomp", "interleaved", "parallel", "uniform"} {
+					aname := aname
+					t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
+						res, err := repro.RunProblem(mg.g, "mis", aname, preds, repro.Options{Seed: 5})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if errs.Eta1 == 0 && aname != "greedy" && res.Run.Rounds > 3 {
 							t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
 						}
-					}
-					// Degradation for the eta1/eta2-degrading algorithms.
-					switch alg {
-					case repro.MISSimple:
-						if res.Run.Rounds > errs.Eta1+3 {
-							t.Errorf("rounds %d > eta1+3 (%d)", res.Run.Rounds, errs.Eta1+3)
+						switch aname {
+						case "simple":
+							if res.Run.Rounds > errs.Eta1+3 {
+								t.Errorf("rounds %d > eta1+3 (%d)", res.Run.Rounds, errs.Eta1+3)
+							}
+						case "parallel":
+							if errs.Eta2 >= 0 && res.Run.Rounds > errs.Eta2+4 {
+								t.Errorf("rounds %d > eta2+4 (%d)", res.Run.Rounds, errs.Eta2+4)
+							}
 						}
-					case repro.MISParallelColoring:
-						if errs.Eta2 >= 0 && res.Run.Rounds > errs.Eta2+4 {
-							t.Errorf("rounds %d > eta2+4 (%d)", res.Run.Rounds, errs.Eta2+4)
+					})
+				}
+			}
+		}
+	})
+	t.Run("matching", func(t *testing.T) {
+		for _, mg := range matrixGraphs() {
+			perfect := repro.PerfectMatching(mg.g)
+			for _, k := range matrixErrorLevels {
+				preds := repro.PerturbMatching(mg.g, perfect, k, repro.NewRand(int64(k)+11))
+				eta1 := repro.MatchingEta1(mg.g, preds)
+				for _, aname := range []string{"greedy", "simple", "collect", "consecutive", "parallel"} {
+					aname := aname
+					t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
+						res, err := repro.RunProblem(mg.g, "matching", aname, preds, repro.Options{})
+						if err != nil {
+							t.Fatal(err)
 						}
-					}
-				})
+						if eta1 == 0 && aname != "greedy" && res.Run.Rounds > 3 {
+							t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
+						}
+						if aname == "simple" && res.Run.Rounds > 3*(eta1/2)+5 {
+							t.Errorf("rounds %d > 3*floor(eta1/2)+5 (eta1=%d)", res.Run.Rounds, eta1)
+						}
+					})
+				}
 			}
 		}
-	}
-}
-
-func TestMatrixMatching(t *testing.T) {
-	algs := map[string]repro.MatchingAlgorithm{
-		"greedy":   repro.MatchingGreedy,
-		"simple":   repro.MatchingSimple,
-		"collect":  repro.MatchingSimpleCollect,
-		"cons":     repro.MatchingConsecutive,
-		"parallel": repro.MatchingParallel,
-	}
-	for _, mg := range matrixGraphs() {
-		perfect := repro.PerfectMatching(mg.g)
-		for _, k := range matrixErrorLevels {
-			preds := repro.PerturbMatching(mg.g, perfect, k, repro.NewRand(int64(k)+11))
-			eta1 := repro.MatchingEta1(mg.g, preds)
-			for aname, alg := range algs {
-				aname, alg := aname, alg
-				t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
-					res, err := repro.RunMatching(mg.g, preds, alg, repro.Options{})
-					if err != nil {
-						t.Fatal(err)
-					}
-					if eta1 == 0 && alg != repro.MatchingGreedy && res.Run.Rounds > 3 {
-						t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
-					}
-					if alg == repro.MatchingSimple && res.Run.Rounds > 3*(eta1/2)+5 {
-						t.Errorf("rounds %d > 3*floor(eta1/2)+5 (eta1=%d)", res.Run.Rounds, eta1)
-					}
-				})
+	})
+	t.Run("vcolor", func(t *testing.T) {
+		for _, mg := range matrixGraphs() {
+			perfect := repro.PerfectVColor(mg.g)
+			for _, k := range matrixErrorLevels {
+				preds := repro.PerturbVColor(mg.g, perfect, k, repro.NewRand(int64(k)+13))
+				eta1 := repro.VColorEta1(mg.g, preds)
+				for _, aname := range []string{"greedy", "simple", "linial", "consecutive", "interleaved", "parallel"} {
+					aname := aname
+					t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
+						res, err := repro.RunProblem(mg.g, "vcolor", aname, preds, repro.Options{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if eta1 == 0 && aname != "greedy" && res.Run.Rounds > 2 {
+							t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
+						}
+						if aname == "simple" && res.Run.Rounds > eta1+2 {
+							t.Errorf("rounds %d > eta1+2 (eta1=%d)", res.Run.Rounds, eta1)
+						}
+					})
+				}
 			}
 		}
-	}
-}
-
-func TestMatrixVColor(t *testing.T) {
-	algs := map[string]repro.VColorAlgorithm{
-		"greedy":      repro.VColorGreedy,
-		"simple":      repro.VColorSimple,
-		"linial":      repro.VColorSimpleLinial,
-		"cons":        repro.VColorConsecutive,
-		"interleaved": repro.VColorInterleaved,
-		"parallel":    repro.VColorParallel,
-	}
-	for _, mg := range matrixGraphs() {
-		perfect := repro.PerfectVColor(mg.g)
-		for _, k := range matrixErrorLevels {
-			preds := repro.PerturbVColor(mg.g, perfect, k, repro.NewRand(int64(k)+13))
-			eta1 := repro.VColorEta1(mg.g, preds)
-			for aname, alg := range algs {
-				aname, alg := aname, alg
-				t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
-					res, err := repro.RunVColor(mg.g, preds, alg, repro.Options{})
-					if err != nil {
-						t.Fatal(err)
-					}
-					if eta1 == 0 && alg != repro.VColorGreedy && res.Run.Rounds > 2 {
-						t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
-					}
-					if alg == repro.VColorSimple && res.Run.Rounds > eta1+2 {
-						t.Errorf("rounds %d > eta1+2 (eta1=%d)", res.Run.Rounds, eta1)
-					}
-				})
+	})
+	t.Run("ecolor", func(t *testing.T) {
+		for _, mg := range matrixGraphs() {
+			if mg.g.M() == 0 {
+				continue
+			}
+			perfect := repro.PerfectEColor(mg.g)
+			for _, k := range matrixErrorLevels {
+				preds := repro.PerturbEColor(mg.g, perfect, k, repro.NewRand(int64(k)+17))
+				eta1 := repro.EColorEta1(mg.g, preds)
+				for _, aname := range []string{"greedy", "simple", "collect", "consecutive", "parallel"} {
+					aname := aname
+					t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
+						res, err := repro.RunProblem(mg.g, "ecolor", aname, preds, repro.Options{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if eta1 == 0 && aname != "greedy" && res.Run.Rounds > 2 {
+							t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
+						}
+						if aname == "simple" && eta1 > 0 && res.Run.Rounds > 2*eta1+2 {
+							t.Errorf("rounds %d > 2*eta1+2 (eta1=%d)", res.Run.Rounds, eta1)
+						}
+					})
+				}
 			}
 		}
-	}
-}
-
-func TestMatrixEColor(t *testing.T) {
-	algs := map[string]repro.EColorAlgorithm{
-		"greedy":   repro.EColorGreedy,
-		"simple":   repro.EColorSimple,
-		"collect":  repro.EColorSimpleCollect,
-		"cons":     repro.EColorConsecutive,
-		"parallel": repro.EColorParallel,
-	}
-	for _, mg := range matrixGraphs() {
-		if mg.g.M() == 0 {
-			continue
-		}
-		perfect := repro.PerfectEColor(mg.g)
-		for _, k := range matrixErrorLevels {
-			preds := repro.PerturbEColor(mg.g, perfect, k, repro.NewRand(int64(k)+17))
-			eta1 := repro.EColorEta1(mg.g, preds)
-			for aname, alg := range algs {
-				aname, alg := aname, alg
-				t.Run(fmt.Sprintf("%s/k%d/%s", mg.name, k, aname), func(t *testing.T) {
-					res, err := repro.RunEColor(mg.g, preds, alg, repro.Options{})
-					if err != nil {
-						t.Fatal(err)
-					}
-					if eta1 == 0 && alg != repro.EColorGreedy && res.Run.Rounds > 2 {
-						t.Errorf("eta=0 but %d rounds", res.Run.Rounds)
-					}
-					if alg == repro.EColorSimple && eta1 > 0 && res.Run.Rounds > 2*eta1+2 {
-						t.Errorf("rounds %d > 2*eta1+2 (eta1=%d)", res.Run.Rounds, eta1)
-					}
-				})
-			}
-		}
-	}
+	})
 }
 
 func TestMatrixCheckers(t *testing.T) {

@@ -3,16 +3,17 @@ package repro
 import (
 	"fmt"
 
-	"repro/internal/ecolor"
-	"repro/internal/linegraph"
 	"repro/internal/matching"
 	"repro/internal/mis"
 	"repro/internal/predict"
+	"repro/internal/problem"
 	"repro/internal/runtime"
-	"repro/internal/tree"
-	"repro/internal/vcolor"
-	"repro/internal/verify"
 )
+
+// This file keeps the typed per-problem entry points (enums, Result shapes,
+// Run* functions) as thin shims over the registry's generic run path in
+// registry.go — backward compatible by construction: every shim maps its
+// enum to the registered algorithm name and delegates to runGeneric.
 
 // MISAlgorithm selects an MIS algorithm (with or without predictions).
 type MISAlgorithm int
@@ -51,6 +52,22 @@ const (
 	MISSimpleUniform
 )
 
+// misAlgNames maps the enum to the registered algorithm names.
+var misAlgNames = map[MISAlgorithm]string{
+	MISGreedy:             "greedy",
+	MISSimple:             "simple",
+	MISSimpleBase:         "base",
+	MISSimpleBW:           "bw",
+	MISSimpleLuby:         "luby",
+	MISSimpleCollect:      "collect",
+	MISConsecutiveCollect: "consecutive",
+	MISConsecutiveDecomp:  "decomp",
+	MISInterleavedDecomp:  "interleaved",
+	MISParallelColoring:   "parallel",
+	MISLubySolo:           "lubysolo",
+	MISSimpleUniform:      "uniform",
+}
+
 // MISResult is the outcome of an MIS run.
 type MISResult struct {
 	// Run carries the round/message metrics.
@@ -61,50 +78,54 @@ type MISResult struct {
 
 // MISFactory returns the engine factory for an algorithm choice.
 func MISFactory(alg MISAlgorithm, seed int64) (runtime.Factory, error) {
-	switch alg {
-	case MISGreedy:
-		return mis.Solo(mis.Greedy()), nil
-	case MISSimple:
-		return mis.SimpleGreedy(), nil
-	case MISSimpleBase:
-		return mis.SimpleBase(), nil
-	case MISSimpleBW:
-		return mis.SimpleBW(), nil
-	case MISSimpleLuby:
-		return mis.SimpleLuby(seed), nil
-	case MISSimpleCollect:
-		return mis.SimpleCollect(), nil
-	case MISConsecutiveCollect:
-		return mis.ConsecutiveCollect(), nil
-	case MISConsecutiveDecomp:
-		return mis.ConsecutiveDecomp(seed), nil
-	case MISInterleavedDecomp:
-		return mis.InterleavedDecomp(seed), nil
-	case MISParallelColoring:
-		return mis.ParallelColoring(), nil
-	case MISLubySolo:
-		return mis.Solo(mis.Luby(seed)), nil
-	case MISSimpleUniform:
-		return mis.SimpleUniform(), nil
-	default:
+	name, ok := misAlgNames[alg]
+	if !ok {
 		return nil, fmt.Errorf("repro: unknown MIS algorithm %d", alg)
 	}
+	d, err := problem.Get("mis")
+	if err != nil {
+		return nil, err
+	}
+	a, err := d.Algorithm(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Build(problem.BuildCtx{Seed: seed})
 }
 
 // RunMIS executes the chosen MIS algorithm on g with the given predictions
 // (nil for prediction-free algorithms) and verifies the output.
 func RunMIS(g *Graph, preds []int, alg MISAlgorithm, opts Options) (*MISResult, error) {
-	factory, err := MISFactory(alg, opts.Seed)
+	name, ok := misAlgNames[alg]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown MIS algorithm %d", alg)
+	}
+	res, err := RunProblem(g, "mis", name, preds, opts)
 	if err != nil {
 		return nil, err
 	}
-	if alg == MISSimpleUniform && opts.MaxRounds == 0 {
-		// The Δ-doubling reference can legitimately exceed the engine's
-		// O(n)-algorithm default cap on small dense graphs.
-		opts.MaxRounds = mis.UniformMaxRounds(runtime.NodeInfo{N: g.N(), D: g.D(), Delta: g.MaxDegree()})
+	return &MISResult{Run: res.Run, InSet: res.Output}, nil
+}
+
+// RunMISTradeoff runs the Section 10 consistency/robustness trade-off
+// variant of the Consecutive Template: the measure-uniform stage is budgeted
+// λ·n rounds before the decomposition reference takes over. λ = 0 trusts the
+// predictions only through the initialization; λ ≥ 1 matches the Greedy
+// algorithm's worst-case needs. The λ knob is continuous, so this variant
+// stays outside the registry's named algorithms and plugs its factory into
+// the same generic machinery.
+func RunMISTradeoff(g *Graph, preds []int, lambda float64, opts Options) (*MISResult, error) {
+	d, err := problem.Get("mis")
+	if err != nil {
+		return nil, err
 	}
+	factory := mis.ConsecutiveTradeoff(lambda, opts.Seed)
 	if opts.Recover {
-		rr, err := runRecovered(g, factory, intPreds(preds), opts, misHealSpec())
+		spec, err := healSpecFor(d)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := runRecovered(g, factory, intPreds(preds), opts, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -114,49 +135,11 @@ func RunMIS(g *Graph, preds []int, alg MISAlgorithm, opts Options) (*MISResult, 
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, g.N())
-	for i, o := range raw.Outputs {
-		bit, ok := o.(int)
-		if !ok {
-			return nil, fmt.Errorf("repro: node %d produced %T, want int", g.ID(i), o)
-		}
-		out[i] = bit
-	}
-	if err := verify.MIS(g, out); err != nil {
-		return nil, fmt.Errorf("repro: %w", err)
-	}
-	return &MISResult{Run: baseResult(raw), InSet: out}, nil
-}
-
-// RunMISTradeoff runs the Section 10 consistency/robustness trade-off
-// variant of the Consecutive Template: the measure-uniform stage is budgeted
-// λ·n rounds before the decomposition reference takes over. λ = 0 trusts the
-// predictions only through the initialization; λ ≥ 1 matches the Greedy
-// algorithm's worst-case needs.
-func RunMISTradeoff(g *Graph, preds []int, lambda float64, opts Options) (*MISResult, error) {
-	if opts.Recover {
-		rr, err := runRecovered(g, mis.ConsecutiveTradeoff(lambda, opts.Seed), intPreds(preds), opts, misHealSpec())
-		if err != nil {
-			return nil, err
-		}
-		return &MISResult{Run: rr.asResult(), InSet: rr.Output}, nil
-	}
-	raw, err := runAndCollect(g, mis.ConsecutiveTradeoff(lambda, opts.Seed), intPreds(preds), opts)
+	sol, err := d.Finalize(g, nil, raw.Outputs)
 	if err != nil {
-		return nil, err
-	}
-	out := make([]int, g.N())
-	for i, o := range raw.Outputs {
-		bit, ok := o.(int)
-		if !ok {
-			return nil, fmt.Errorf("repro: node %d produced %T, want int", g.ID(i), o)
-		}
-		out[i] = bit
-	}
-	if err := verify.MIS(g, out); err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	return &MISResult{Run: baseResult(raw), InSet: out}, nil
+	return &MISResult{Run: baseResult(raw), InSet: sol.Node}, nil
 }
 
 // TreeMISAlgorithm selects a rooted-tree MIS algorithm (Section 9.2).
@@ -177,46 +160,31 @@ const (
 	TreeConsecutive
 )
 
+// treeAlgNames maps the enum to the registered algorithm names.
+var treeAlgNames = map[TreeMISAlgorithm]string{
+	TreeRootsLeaves: "greedy",
+	TreeSimple:      "simple",
+	TreeParallel:    "parallel",
+	TreeConsecutive: "consecutive",
+}
+
 // RunTreeMIS executes a rooted-tree MIS algorithm and verifies the output.
+// The rooted forest is passed explicitly (the registry's default auxiliary
+// data would re-root the graph at node 0).
 func RunTreeMIS(r *Rooted, preds []int, alg TreeMISAlgorithm, opts Options) (*MISResult, error) {
-	var factory runtime.Factory
-	switch alg {
-	case TreeRootsLeaves:
-		factory = tree.Solo(r, tree.RootsAndLeaves(0))
-	case TreeSimple:
-		factory = tree.SimpleRootsLeaves(r)
-	case TreeParallel:
-		factory = tree.ParallelColoring(r)
-	case TreeConsecutive:
-		factory = tree.ConsecutiveColoring(r)
-	default:
+	name, ok := treeAlgNames[alg]
+	if !ok {
 		return nil, fmt.Errorf("repro: unknown tree MIS algorithm %d", alg)
 	}
-	if opts.Recover {
-		// The healing run uses the general MIS Simple Template: MIS on the
-		// underlying graph is what the tree algorithms compute too.
-		rr, err := runRecovered(r.G, factory, intPreds(preds), opts, misHealSpec())
-		if err != nil {
-			return nil, err
-		}
-		return &MISResult{Run: rr.asResult(), InSet: rr.Output}, nil
-	}
-	raw, err := runAndCollect(r.G, factory, intPreds(preds), opts)
+	d, err := problem.Get("tree")
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, r.G.N())
-	for i, o := range raw.Outputs {
-		bit, ok := o.(int)
-		if !ok {
-			return nil, fmt.Errorf("repro: node %d produced %T, want int", r.G.ID(i), o)
-		}
-		out[i] = bit
+	res, err := runGeneric(r.G, d, name, r, preds, opts)
+	if err != nil {
+		return nil, err
 	}
-	if err := verify.MIS(r.G, out); err != nil {
-		return nil, fmt.Errorf("repro: %w", err)
-	}
-	return &MISResult{Run: baseResult(raw), InSet: out}, nil
+	return &MISResult{Run: res.Run, InSet: res.Output}, nil
 }
 
 // MatchingAlgorithm selects a maximal-matching algorithm (Section 8.1).
@@ -237,6 +205,15 @@ const (
 	MatchingParallel
 )
 
+// matchingAlgNames maps the enum to the registered algorithm names.
+var matchingAlgNames = map[MatchingAlgorithm]string{
+	MatchingGreedy:        "greedy",
+	MatchingSimple:        "simple",
+	MatchingSimpleCollect: "collect",
+	MatchingConsecutive:   "consecutive",
+	MatchingParallel:      "parallel",
+}
+
 // MatchingResult is the outcome of a matching run.
 type MatchingResult struct {
 	// Run carries the round/message metrics.
@@ -249,50 +226,15 @@ type MatchingResult struct {
 // RunMatching executes the chosen matching algorithm and verifies the
 // output.
 func RunMatching(g *Graph, preds []int, alg MatchingAlgorithm, opts Options) (*MatchingResult, error) {
-	var factory runtime.Factory
-	switch alg {
-	case MatchingGreedy:
-		factory = matching.Solo(matching.MeasureUniform(0))
-	case MatchingSimple:
-		factory = matching.SimpleGreedy()
-	case MatchingSimpleCollect:
-		factory = matching.SimpleCollect()
-	case MatchingConsecutive:
-		factory = matching.ConsecutiveCollect()
-	case MatchingParallel:
-		factory = matching.ParallelColoring()
-		if opts.MaxRounds == 0 {
-			// The line-graph coloring reference can legitimately exceed the
-			// O(n)-algorithm default cap (its bound is O(Δ²·polylog), the
-			// documented substitution cost).
-			opts.MaxRounds = edgeRefMaxRounds(g)
-		}
-	default:
+	name, ok := matchingAlgNames[alg]
+	if !ok {
 		return nil, fmt.Errorf("repro: unknown matching algorithm %d", alg)
 	}
-	if opts.Recover {
-		rr, err := runRecovered(g, factory, intPreds(preds), opts, matchingHealSpec())
-		if err != nil {
-			return nil, err
-		}
-		return &MatchingResult{Run: rr.asResult(), Partner: rr.Output}, nil
-	}
-	raw, err := runAndCollect(g, factory, intPreds(preds), opts)
+	res, err := RunProblem(g, "matching", name, preds, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, g.N())
-	for i, o := range raw.Outputs {
-		v, ok := o.(int)
-		if !ok {
-			return nil, fmt.Errorf("repro: node %d produced %T, want int", g.ID(i), o)
-		}
-		out[i] = v
-	}
-	if err := verify.Matching(g, out); err != nil {
-		return nil, fmt.Errorf("repro: %w", err)
-	}
-	return &MatchingResult{Run: baseResult(raw), Partner: out}, nil
+	return &MatchingResult{Run: res.Run, Partner: res.Output}, nil
 }
 
 // VColorAlgorithm selects a (Δ+1)-vertex-coloring algorithm (Section 8.2).
@@ -320,6 +262,17 @@ const (
 	VColorParallel
 )
 
+// vcolorAlgNames maps the enum to the registered algorithm names.
+var vcolorAlgNames = map[VColorAlgorithm]string{
+	VColorGreedy:       "greedy",
+	VColorSimple:       "simple",
+	VColorSimpleLinial: "linial",
+	VColorConsecutive:  "consecutive",
+	VColorLinial:       "standalone",
+	VColorInterleaved:  "interleaved",
+	VColorParallel:     "parallel",
+}
+
 // VColorResult is the outcome of a vertex-coloring run.
 type VColorResult struct {
 	// Run carries the round/message metrics.
@@ -331,48 +284,15 @@ type VColorResult struct {
 // RunVColor executes the chosen vertex-coloring algorithm and verifies the
 // output.
 func RunVColor(g *Graph, preds []int, alg VColorAlgorithm, opts Options) (*VColorResult, error) {
-	var factory runtime.Factory
-	switch alg {
-	case VColorGreedy:
-		factory = vcolor.Solo(vcolor.MeasureUniform(0))
-	case VColorSimple:
-		factory = vcolor.SimpleGreedy()
-	case VColorSimpleLinial:
-		factory = vcolor.SimpleLinial()
-	case VColorConsecutive:
-		factory = vcolor.ConsecutiveLinial()
-	case VColorLinial:
-		factory = vcolor.Solo(vcolor.LinialStandalone())
-	case VColorInterleaved:
-		factory = vcolor.InterleavedLinial()
-	case VColorParallel:
-		factory = vcolor.ParallelLinial()
-	default:
+	name, ok := vcolorAlgNames[alg]
+	if !ok {
 		return nil, fmt.Errorf("repro: unknown vertex-coloring algorithm %d", alg)
 	}
-	if opts.Recover {
-		rr, err := runRecovered(g, factory, intPreds(preds), opts, vcolorHealSpec())
-		if err != nil {
-			return nil, err
-		}
-		return &VColorResult{Run: rr.asResult(), Color: rr.Output}, nil
-	}
-	raw, err := runAndCollect(g, factory, intPreds(preds), opts)
+	res, err := RunProblem(g, "vcolor", name, preds, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, g.N())
-	for i, o := range raw.Outputs {
-		v, ok := o.(int)
-		if !ok {
-			return nil, fmt.Errorf("repro: node %d produced %T, want int", g.ID(i), o)
-		}
-		out[i] = v
-	}
-	if err := verify.VColor(g, out); err != nil {
-		return nil, fmt.Errorf("repro: %w", err)
-	}
-	return &VColorResult{Run: baseResult(raw), Color: out}, nil
+	return &VColorResult{Run: res.Run, Color: res.Output}, nil
 }
 
 // EColorAlgorithm selects a (2Δ−1)-edge-coloring algorithm (Section 8.3).
@@ -393,6 +313,15 @@ const (
 	EColorParallel
 )
 
+// ecolorAlgNames maps the enum to the registered algorithm names.
+var ecolorAlgNames = map[EColorAlgorithm]string{
+	EColorGreedy:        "greedy",
+	EColorSimple:        "simple",
+	EColorSimpleCollect: "collect",
+	EColorConsecutive:   "consecutive",
+	EColorParallel:      "parallel",
+}
+
 // EColorResult is the outcome of an edge-coloring run.
 type EColorResult struct {
 	// Run carries the round/message metrics.
@@ -404,65 +333,15 @@ type EColorResult struct {
 // RunEColor executes the chosen edge-coloring algorithm, checks endpoint
 // agreement, and verifies the coloring.
 func RunEColor(g *Graph, preds []EdgePrediction, alg EColorAlgorithm, opts Options) (*EColorResult, error) {
-	var factory runtime.Factory
-	switch alg {
-	case EColorGreedy:
-		factory = ecolor.Solo(ecolor.MeasureUniform(0))
-	case EColorSimple:
-		factory = ecolor.SimpleGreedy()
-	case EColorSimpleCollect:
-		factory = ecolor.SimpleCollect()
-	case EColorConsecutive:
-		factory = ecolor.ConsecutiveCollect()
-	case EColorParallel:
-		factory = ecolor.ParallelColoring()
-		if opts.MaxRounds == 0 {
-			opts.MaxRounds = edgeRefMaxRounds(g)
-		}
-	default:
+	name, ok := ecolorAlgNames[alg]
+	if !ok {
 		return nil, fmt.Errorf("repro: unknown edge-coloring algorithm %d", alg)
 	}
-	if opts.Recover {
-		// Edge-coloring outputs are per-node vectors; the int-vector carving
-		// machinery does not apply.
-		return nil, fmt.Errorf("repro: Options.Recover is not supported for edge coloring")
-	}
-	var anyPreds []any
-	if preds != nil {
-		anyPreds = make([]any, len(preds))
-		for i, p := range preds {
-			anyPreds[i] = []int(p)
-		}
-	}
-	raw, err := runAndCollect(g, factory, anyPreds, opts)
+	res, err := RunProblem(g, "ecolor", name, preds, opts)
 	if err != nil {
 		return nil, err
 	}
-	outs := make([][]int, g.N())
-	for i, o := range raw.Outputs {
-		v, ok := o.([]int)
-		if !ok {
-			return nil, fmt.Errorf("repro: node %d produced %T, want []int", g.ID(i), o)
-		}
-		outs[i] = v
-	}
-	colors, err := verify.NodeEdgeColorsAgree(g, outs)
-	if err != nil {
-		return nil, fmt.Errorf("repro: %w", err)
-	}
-	if g.M() > 0 {
-		if err := verify.EColor(g, colors); err != nil {
-			return nil, fmt.Errorf("repro: %w", err)
-		}
-	}
-	return &EColorResult{Run: baseResult(raw), EdgeColor: colors}, nil
-}
-
-// edgeRefMaxRounds returns a safe engine cap for the algorithms whose
-// reference is the line-graph Linial coloring.
-func edgeRefMaxRounds(g *Graph) int {
-	delta := g.MaxDegree()
-	return 8*g.N() + 64 + linegraph.Rounds(g.D(), delta) + 2*(2*delta+1) + 16
+	return &EColorResult{Run: res.Run, EdgeColor: res.EdgeOutput}, nil
 }
 
 // Ensure predict's Unmatched matches matching's (compile-time check).

@@ -1,0 +1,24 @@
+package repro_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestReadmeRegistryTable: the README's algorithm table is generated from
+// the registry (`dgp-run -list`); this asserts the two cannot drift apart.
+func TestReadmeRegistryTable(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<!-- registry:begin -->\n```\n" + repro.RegistryTable() + "```\n<!-- registry:end -->"
+	if !strings.Contains(string(data), want) {
+		t.Fatalf("README registry table is out of sync with the registry;\n"+
+			"update the block between the registry markers with the output of\n"+
+			"`go run ./cmd/dgp-run -list`\n\nwant:\n%s", want)
+	}
+}

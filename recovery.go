@@ -4,11 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/heal"
-	"repro/internal/matching"
-	"repro/internal/mis"
 	"repro/internal/runtime"
-	"repro/internal/vcolor"
-	"repro/internal/verify"
 )
 
 // Problem names a problem for RunWithRecovery.
@@ -25,6 +21,13 @@ const (
 	// ProblemVColor is (Δ+1)-vertex coloring.
 	ProblemVColor
 )
+
+// problemNames maps the enum to the registered problem names.
+var problemNames = map[Problem]string{
+	ProblemMIS:      "mis",
+	ProblemMatching: "matching",
+	ProblemVColor:   "vcolor",
+}
 
 // RecoveryResult reports a self-healing run: the faulted primary run, the
 // damage found, and the healing run's cost — the paper-style degradation
@@ -59,48 +62,6 @@ type RecoveryResult struct {
 // TotalRounds is the end-to-end cost: primary rounds plus recovery rounds.
 func (r *RecoveryResult) TotalRounds() int { return r.PrimaryRounds + r.RecoveryRounds }
 
-// problemSpec returns the recovery machinery and the default primary
-// factory (the problem's Simple Template) for a problem.
-func problemSpec(p Problem) (heal.Spec, runtime.Factory, error) {
-	switch p {
-	case ProblemMIS:
-		return misHealSpec(), mis.SimpleGreedy(), nil
-	case ProblemMatching:
-		return matchingHealSpec(), matching.SimpleGreedy(), nil
-	case ProblemVColor:
-		return vcolorHealSpec(), vcolor.SimpleGreedy(), nil
-	default:
-		return heal.Spec{}, nil, fmt.Errorf("repro: unknown problem %d", p)
-	}
-}
-
-func misHealSpec() heal.Spec {
-	return heal.Spec{
-		Verify:        verify.MIS,
-		Carve:         heal.CarveMIS,
-		HealFactory:   mis.SimpleGreedy(),
-		UndecidedPred: 0,
-	}
-}
-
-func matchingHealSpec() heal.Spec {
-	return heal.Spec{
-		Verify:        verify.Matching,
-		Carve:         heal.CarveMatching,
-		HealFactory:   matching.SimpleGreedy(),
-		UndecidedPred: Unmatched,
-	}
-}
-
-func vcolorHealSpec() heal.Spec {
-	return heal.Spec{
-		Verify:        verify.VColor,
-		Carve:         heal.CarveVColor,
-		HealFactory:   vcolor.SimpleGreedy(),
-		UndecidedPred: 0,
-	}
-}
-
 // RunWithRecovery executes the problem's Simple Template on g under the
 // options' fault knobs (Adversary, Crashes, RoundDeadline) and self-heals:
 // if the run aborts or produces an invalid solution, the damaged outputs
@@ -112,15 +73,15 @@ func vcolorHealSpec() heal.Spec {
 // verifies; crashed nodes are treated as recovered in the healing run
 // (chaos is transient). Configuration errors are returned, not healed.
 func RunWithRecovery(g *Graph, problem Problem, preds []int, opts Options) (*RecoveryResult, error) {
-	spec, factory, err := problemSpec(problem)
-	if err != nil {
-		return nil, err
+	name, ok := problemNames[problem]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown problem %d", problem)
 	}
-	return runRecovered(g, factory, intPreds(preds), opts, spec)
+	return RunProblemWithRecovery(g, name, preds, opts)
 }
 
-// runRecovered is the engine-level recovery path shared by RunWithRecovery
-// and the Options.Recover flag on the Run* entry points.
+// runRecovered is the engine-level recovery path behind RunProblemWithRecovery
+// and the Options.Recover flag on the generic run path.
 func runRecovered(g *Graph, factory runtime.Factory, preds []any, opts Options, spec heal.Spec) (*RecoveryResult, error) {
 	cfg := buildConfig(g, factory, preds, opts)
 	report, err := heal.RunRecovered(cfg, spec)

@@ -1,0 +1,329 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/heal"
+	"repro/internal/problem"
+
+	// Each problem package registers its descriptor in init(); import them
+	// all here so the registry is complete regardless of which typed entry
+	// points the rest of the package happens to reference.
+	_ "repro/internal/ecolor"
+	_ "repro/internal/matching"
+	_ "repro/internal/mis"
+	_ "repro/internal/tree"
+	_ "repro/internal/vcolor"
+)
+
+// This file is the registry-driven generic problem layer: every registered
+// (problem, algorithm) pair runs through one code path — prediction
+// generation, error summaries, the run itself (with recovery), and
+// distributed checking — with no per-problem dispatch. The typed Run*
+// entry points in problems.go are thin shims over it, and the CLIs consume
+// it directly, so adding a problem or an algorithm is one registration in
+// its package, not an edit across six layers.
+
+// AlgorithmInfo describes one registered algorithm variant.
+type AlgorithmInfo struct {
+	// Problem and Name address the variant in RunProblem.
+	Problem, Name string
+	// Template is the paper template instantiated: solo, simple,
+	// consecutive, interleaved, or parallel.
+	Template string
+	// Reference describes the stages plugged into the template.
+	Reference string
+	// Bound is the documented round bound.
+	Bound string
+	// Seeded reports that the variant consumes Options.Seed.
+	Seeded bool
+}
+
+// ProblemInfo describes one registered problem.
+type ProblemInfo struct {
+	// Name addresses the problem in RunProblem and GeneratePreds.
+	Name string
+	// Doc is the one-line description.
+	Doc string
+	// OutputLabel labels the output vector in display.
+	OutputLabel string
+	// CanHeal reports that Options.Recover and RunProblemWithRecovery are
+	// supported.
+	CanHeal bool
+	// Algorithms lists the variants in registration order.
+	Algorithms []AlgorithmInfo
+}
+
+// Problems enumerates the registry: every problem with its algorithm
+// variants, problems sorted by name.
+func Problems() []ProblemInfo {
+	var out []ProblemInfo
+	for _, d := range problem.All() {
+		p := ProblemInfo{
+			Name:        d.Name,
+			Doc:         d.Doc,
+			OutputLabel: d.OutputLabel,
+			CanHeal:     d.Heal != nil,
+		}
+		for _, a := range d.Algorithms {
+			p.Algorithms = append(p.Algorithms, AlgorithmInfo{
+				Problem:   d.Name,
+				Name:      a.Name,
+				Template:  a.Template,
+				Reference: a.Reference,
+				Bound:     a.Bound,
+				Seeded:    a.Seeded,
+			})
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RegistryTable renders the registry as a fixed-width text table (one row
+// per algorithm) — the `dgp-run -list` output and the README's algorithm
+// table.
+func RegistryTable() string {
+	rows := [][]string{{"PROBLEM", "ALGORITHM", "TEMPLATE", "REFERENCE", "ROUND BOUND"}}
+	for _, p := range Problems() {
+		for _, a := range p.Algorithms {
+			rows = append(rows, []string{p.Name, a.Name, a.Template, a.Reference, a.Bound})
+		}
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// auxFor builds the problem's default auxiliary instance data for g (the
+// rooted forest for the tree problem; nil for the others).
+func auxFor(d *problem.Descriptor, g *Graph) (any, error) {
+	if d.NewAux == nil {
+		return nil, nil
+	}
+	aux, err := d.NewAux(g)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return aux, nil
+}
+
+// GeneratePreds generates the problem's standard test predictions for g: an
+// error-free prediction perturbed at flips positions by a generator seeded
+// with seed. The concrete type is the problem's prediction type ([]int, or
+// []EdgePrediction for edge coloring) — pass the value to RunProblem.
+func GeneratePreds(problemName string, g *Graph, flips int, seed int64) (any, error) {
+	d, err := problem.Get(problemName)
+	if err != nil {
+		return nil, err
+	}
+	aux, err := auxFor(d, g)
+	if err != nil {
+		return nil, err
+	}
+	return d.Preds(g, aux, flips, seed), nil
+}
+
+// ErrorSummary renders the instance's prediction error measures (e.g.
+// "eta1=3 eta2=2 eta_bw=1 components=2").
+func ErrorSummary(problemName string, g *Graph, preds any) (string, error) {
+	d, err := problem.Get(problemName)
+	if err != nil {
+		return "", err
+	}
+	aux, err := auxFor(d, g)
+	if err != nil {
+		return "", err
+	}
+	return d.Errors(g, aux, preds)
+}
+
+// ProblemResult is the problem-generic outcome of RunProblem.
+type ProblemResult struct {
+	// Run carries the round/message metrics.
+	Run Result
+	// Output is the verified per-node output vector for the int-output
+	// problems (MIS bit, partner identifier, color); nil for edge coloring.
+	Output []int
+	// EdgeOutput is the verified per-edge color vector (indexed like
+	// Graph.Edges()) for edge coloring; nil for the other problems.
+	EdgeOutput []int
+	// Recovery is the detailed self-healing report when Options.Recover was
+	// set; nil otherwise.
+	Recovery *RecoveryResult
+
+	// vectors holds edge coloring's raw per-node color vectors, which the
+	// distributed checker consumes.
+	vectors [][]int
+}
+
+// RunProblem executes one registered (problem, algorithm) pair on g with the
+// given predictions (nil for prediction-free algorithms) and verifies the
+// output. Options.Recover routes through the problem's healing machinery
+// when the descriptor registers one.
+func RunProblem(g *Graph, problemName, alg string, preds any, opts Options) (*ProblemResult, error) {
+	d, err := problem.Get(problemName)
+	if err != nil {
+		return nil, err
+	}
+	aux, err := auxFor(d, g)
+	if err != nil {
+		return nil, err
+	}
+	return runGeneric(g, d, alg, aux, preds, opts)
+}
+
+// runGeneric is the single generic run path behind RunProblem and every
+// typed Run* shim: build the factory, apply the algorithm's engine cap,
+// encode the predictions, run (with recovery when requested), and finalize.
+func runGeneric(g *Graph, d *problem.Descriptor, alg string, aux any, preds any, opts Options) (*ProblemResult, error) {
+	a, err := d.Algorithm(alg)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := a.Build(problem.BuildCtx{Seed: opts.Seed, Aux: aux})
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	if opts.MaxRounds == 0 && a.MaxRounds != nil {
+		opts.MaxRounds = a.MaxRounds(g)
+	}
+	encoded, err := d.EncodePreds(preds)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	if opts.Recover {
+		spec, err := healSpecFor(d)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := runRecovered(g, factory, encoded, opts, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &ProblemResult{Run: rr.asResult(), Output: rr.Output, Recovery: rr}, nil
+	}
+	raw, err := runAndCollect(g, factory, encoded, opts)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := d.Finalize(g, aux, raw.Outputs)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &ProblemResult{
+		Run:        baseResult(raw),
+		Output:     sol.Node,
+		EdgeOutput: sol.Edge,
+		vectors:    sol.Vectors,
+	}, nil
+}
+
+// healSpecFor assembles the engine-level healing spec from a descriptor's
+// registered recovery machinery: the carved partial solution is extended by
+// the registered healing algorithm's Simple Template (the problem's own
+// "simple" variant unless the descriptor redirects, as the tree problem does
+// to the general MIS template).
+func healSpecFor(d *problem.Descriptor) (heal.Spec, error) {
+	h := d.Heal
+	if h == nil {
+		return heal.Spec{}, fmt.Errorf("repro: Options.Recover is not supported for %s", d.Name)
+	}
+	healProblem := h.HealProblem
+	if healProblem == "" {
+		healProblem = d.Name
+	}
+	healAlg := h.HealAlg
+	if healAlg == "" {
+		healAlg = "simple"
+	}
+	hd, err := problem.Get(healProblem)
+	if err != nil {
+		return heal.Spec{}, err
+	}
+	a, err := hd.Algorithm(healAlg)
+	if err != nil {
+		return heal.Spec{}, err
+	}
+	factory, err := a.Build(problem.BuildCtx{})
+	if err != nil {
+		return heal.Spec{}, fmt.Errorf("repro: %w", err)
+	}
+	return heal.Spec{
+		Verify:        h.Verify,
+		Carve:         h.Carve,
+		HealFactory:   factory,
+		UndecidedPred: h.UndecidedPred,
+	}, nil
+}
+
+// RunProblemWithRecovery executes the problem's Simple Template on g under
+// the options' fault knobs and self-heals — the registry-driven form of
+// RunWithRecovery, available for every problem whose descriptor registers
+// healing machinery (see ProblemInfo.CanHeal).
+func RunProblemWithRecovery(g *Graph, problemName string, preds any, opts Options) (*RecoveryResult, error) {
+	d, err := problem.Get(problemName)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := healSpecFor(d)
+	if err != nil {
+		return nil, err
+	}
+	aux, err := auxFor(d, g)
+	if err != nil {
+		return nil, err
+	}
+	a, err := d.Algorithm("simple")
+	if err != nil {
+		return nil, err
+	}
+	factory, err := a.Build(problem.BuildCtx{Seed: opts.Seed, Aux: aux})
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	encoded, err := d.EncodePreds(preds)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return runRecovered(g, factory, encoded, opts, spec)
+}
+
+// CheckSolution runs the problem's constant-round distributed checker
+// (Section 1.3) over a RunProblem result: AllAccept iff the output is a
+// correct solution.
+func CheckSolution(g *Graph, problemName string, res *ProblemResult, opts Options) (*CheckResult, error) {
+	d, err := problem.Get(problemName)
+	if err != nil {
+		return nil, err
+	}
+	factory, preds, err := d.Checker(problem.Solution{
+		Node:    res.Output,
+		Vectors: res.vectors,
+		Edge:    res.EdgeOutput,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return runChecker(g, factory, preds, opts)
+}

@@ -1,0 +1,199 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+)
+
+// TestShimParity: the typed Run* entry points are thin shims over the
+// registry's generic path — on fixed seeds, both must produce identical
+// metrics and output vectors for every algorithm enum.
+
+func parityOpts() repro.Options { return repro.Options{Seed: 7} }
+
+func assertSame(t *testing.T, old, gen any) {
+	t.Helper()
+	o, g := fmt.Sprintf("%+v", old), fmt.Sprintf("%+v", gen)
+	if o != g {
+		t.Errorf("shim and generic path disagree:\nshim:    %s\ngeneric: %s", o, g)
+	}
+}
+
+func TestShimParityMIS(t *testing.T) {
+	g := repro.GNP(40, 0.12, repro.NewRand(4242))
+	preds := repro.FlipBits(repro.PerfectMIS(g), 5, repro.NewRand(3))
+	algs := map[string]repro.MISAlgorithm{
+		"greedy":      repro.MISGreedy,
+		"simple":      repro.MISSimple,
+		"base":        repro.MISSimpleBase,
+		"bw":          repro.MISSimpleBW,
+		"luby":        repro.MISSimpleLuby,
+		"collect":     repro.MISSimpleCollect,
+		"consecutive": repro.MISConsecutiveCollect,
+		"decomp":      repro.MISConsecutiveDecomp,
+		"interleaved": repro.MISInterleavedDecomp,
+		"parallel":    repro.MISParallelColoring,
+		"lubysolo":    repro.MISLubySolo,
+		"uniform":     repro.MISSimpleUniform,
+	}
+	for name, alg := range algs {
+		name, alg := name, alg
+		t.Run(name, func(t *testing.T) {
+			old, err := repro.RunMIS(g, preds, alg, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := repro.RunProblem(g, "mis", name, preds, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, old.Run, gen.Run)
+			assertSame(t, old.InSet, gen.Output)
+		})
+	}
+}
+
+func TestShimParityTree(t *testing.T) {
+	g := repro.Line(37)
+	r := repro.RootAt(g, 0)
+	preds := repro.FlipBits(repro.PerfectMIS(g), 4, repro.NewRand(3))
+	algs := map[string]repro.TreeMISAlgorithm{
+		"greedy":      repro.TreeRootsLeaves,
+		"simple":      repro.TreeSimple,
+		"parallel":    repro.TreeParallel,
+		"consecutive": repro.TreeConsecutive,
+	}
+	for name, alg := range algs {
+		name, alg := name, alg
+		t.Run(name, func(t *testing.T) {
+			old, err := repro.RunTreeMIS(r, preds, alg, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := repro.RunProblem(g, "tree", name, preds, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, old.Run, gen.Run)
+			assertSame(t, old.InSet, gen.Output)
+		})
+	}
+}
+
+func TestShimParityMatching(t *testing.T) {
+	g := repro.GNP(40, 0.12, repro.NewRand(4242))
+	preds := repro.PerturbMatching(g, repro.PerfectMatching(g), 5, repro.NewRand(3))
+	algs := map[string]repro.MatchingAlgorithm{
+		"greedy":      repro.MatchingGreedy,
+		"simple":      repro.MatchingSimple,
+		"collect":     repro.MatchingSimpleCollect,
+		"consecutive": repro.MatchingConsecutive,
+		"parallel":    repro.MatchingParallel,
+	}
+	for name, alg := range algs {
+		name, alg := name, alg
+		t.Run(name, func(t *testing.T) {
+			old, err := repro.RunMatching(g, preds, alg, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := repro.RunProblem(g, "matching", name, preds, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, old.Run, gen.Run)
+			assertSame(t, old.Partner, gen.Output)
+		})
+	}
+}
+
+func TestShimParityVColor(t *testing.T) {
+	g := repro.GNP(40, 0.12, repro.NewRand(4242))
+	preds := repro.PerturbVColor(g, repro.PerfectVColor(g), 5, repro.NewRand(3))
+	algs := map[string]repro.VColorAlgorithm{
+		"greedy":      repro.VColorGreedy,
+		"simple":      repro.VColorSimple,
+		"linial":      repro.VColorSimpleLinial,
+		"consecutive": repro.VColorConsecutive,
+		"standalone":  repro.VColorLinial,
+		"interleaved": repro.VColorInterleaved,
+		"parallel":    repro.VColorParallel,
+	}
+	for name, alg := range algs {
+		name, alg := name, alg
+		t.Run(name, func(t *testing.T) {
+			old, err := repro.RunVColor(g, preds, alg, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := repro.RunProblem(g, "vcolor", name, preds, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, old.Run, gen.Run)
+			assertSame(t, old.Color, gen.Output)
+		})
+	}
+}
+
+func TestShimParityEColor(t *testing.T) {
+	g := repro.GNP(40, 0.12, repro.NewRand(4242))
+	preds := repro.PerturbEColor(g, repro.PerfectEColor(g), 5, repro.NewRand(3))
+	algs := map[string]repro.EColorAlgorithm{
+		"greedy":      repro.EColorGreedy,
+		"simple":      repro.EColorSimple,
+		"collect":     repro.EColorSimpleCollect,
+		"consecutive": repro.EColorConsecutive,
+		"parallel":    repro.EColorParallel,
+	}
+	for name, alg := range algs {
+		name, alg := name, alg
+		t.Run(name, func(t *testing.T) {
+			old, err := repro.RunEColor(g, preds, alg, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := repro.RunProblem(g, "ecolor", name, preds, parityOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, old.Run, gen.Run)
+			assertSame(t, old.EdgeColor, gen.EdgeOutput)
+		})
+	}
+}
+
+func TestShimParityRecovery(t *testing.T) {
+	problems := map[string]repro.Problem{
+		"mis":      repro.ProblemMIS,
+		"matching": repro.ProblemMatching,
+		"vcolor":   repro.ProblemVColor,
+	}
+	for name, prob := range problems {
+		name, prob := name, prob
+		t.Run(name, func(t *testing.T) {
+			g := repro.GNP(35, 0.15, repro.NewRand(99))
+			preds, err := repro.GeneratePreds(name, g, 6, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaosOpts := func() repro.Options {
+				return repro.Options{
+					MaxRounds: 60,
+					Adversary: repro.NewChaos(repro.ChaosPolicy{Seed: 12, Drop: 0.3, Crash: 0.1}),
+				}
+			}
+			old, err := repro.RunWithRecovery(g, prob, preds.([]int), chaosOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := repro.RunProblemWithRecovery(g, name, preds, chaosOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, old, gen)
+		})
+	}
+}
