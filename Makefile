@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt vet fuzz-smoke list all
+.PHONY: build test race lint fmt vet fuzz-smoke list trace-golden alloc-guard all
 
 all: build lint test
 
@@ -28,6 +28,21 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# The trace determinism contract, checked through the CLIs: a fixed-seed
+# chaotic self-healing run records the same event stream on both engines
+# (durations excepted — `dgp-trace diff` canonicalizes them away).
+trace-golden:
+	$(GO) build -o /tmp/dgp-run ./cmd/dgp-run
+	$(GO) build -o /tmp/dgp-trace ./cmd/dgp-trace
+	/tmp/dgp-run -problem mis -graph gnp -n 120 -seed 9 -flips 12 -chaos 0.3 -heal -trace /tmp/seq.jsonl
+	/tmp/dgp-run -problem mis -graph gnp -n 120 -seed 9 -flips 12 -chaos 0.3 -heal -parallel -trace /tmp/pool.jsonl
+	/tmp/dgp-trace diff /tmp/seq.jsonl /tmp/pool.jsonl
+
+# Disabled tracing must stay near-zero-cost: the steady-state allocation
+# budget test fails if the per-round allocation count regresses.
+alloc-guard:
+	$(GO) test -run 'TestSteadyStateAllocBudget' -count=1 -v ./internal/runtime/
 
 # Brief coverage-guided runs of the committed fuzz targets; the seed corpora
 # under testdata/fuzz always run as part of `make test`.

@@ -6,6 +6,7 @@ import (
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // runChaosSweep regenerates the fault-rate × η degradation tables in
@@ -15,8 +16,9 @@ import (
 // recovery) and the carved residual that the healing run had to re-decide.
 // Problems whose instances the sweep graphs cannot form (the tree problem
 // needs acyclic graphs) are skipped with a note. It lives in this command
-// (not internal/bench) because it drives the public recovery API.
-func runChaosSweep() error {
+// (not internal/bench) because it drives the public recovery API. A non-nil
+// recorder captures every run's event trace for -metrics.
+func runChaosSweep(rec *obs.Recorder) error {
 	const (
 		n      = 120
 		p      = 0.06
@@ -61,7 +63,7 @@ func runChaosSweep() error {
 					// A modest cap cuts off primaries that drop faults have
 					// wedged (lost notifications break termination detection);
 					// the healing run uses the engine default.
-					opts := repro.Options{MaxRounds: 60}
+					opts := repro.Options{MaxRounds: 60, Trace: rec}
 					if rate > 0 {
 						opts.Adversary = repro.NewChaos(repro.ChaosPolicy{
 							Seed:      seed + 2,
@@ -87,7 +89,93 @@ func runChaosSweep() error {
 		}
 		t.Note("cells: mean primary+recovery rounds and mean carved residual; %d/%d runs healed", healedRuns, len(rates)*len(flipss)*trials)
 		t.Note("policy: drop=rate, duplicate=rate/2, crash=rate/4; corruption aborts template runs outright and is exercised by the recovery tests instead")
+		t.Note("per-phase round breakdown: cells split end-to-end rounds into the heal phases (primary -> recovery); the final CH table traces one run's η trajectory")
 		t.Render(os.Stdout)
 	}
+	return etaTrajectoryTable(tables+1, rec)
+}
+
+// etaTrajectoryTable traces one self-healing MIS run end to end and renders
+// its η trajectory: the input prediction error, the carved residual the
+// healing run had to re-decide, and the post-heal error (zero by
+// construction — the healed output verifies). The wrapper phase marks
+// (primary -> recovery -> healed) and per-run round costs come from the same
+// trace, so the table is exactly what `dgp-trace summarize` prints for the
+// run.
+func etaTrajectoryTable(id int, shared *obs.Recorder) error {
+	const (
+		n     = 120
+		p     = 0.06
+		rate  = 0.5
+		flips = 32
+		seed  = int64(42)
+	)
+	rec := repro.NewTraceRecorder(0)
+	g := repro.GNP(n, p, repro.NewRand(seed))
+	preds, err := repro.GeneratePreds("mis", g, flips, seed+1)
+	if err != nil {
+		return fmt.Errorf("eta trajectory: %w", err)
+	}
+	res, err := repro.RunProblemWithRecovery(g, "mis", preds, repro.Options{
+		MaxRounds: 60,
+		Trace:     rec,
+		Adversary: repro.NewChaos(repro.ChaosPolicy{
+			Seed:      seed + 2,
+			Drop:      rate,
+			Duplicate: rate / 2,
+			Crash:     rate / 4,
+		}),
+	})
+	if err != nil {
+		return fmt.Errorf("eta trajectory: %w", err)
+	}
+	events := rec.Events()
+	sum := obs.Summarize(events)
+	t := &bench.Table{
+		ID:      fmt.Sprintf("CH%d", id),
+		Title:   fmt.Sprintf("η trajectory of one healed run: mis, GNP(%d, %.2f), fault rate %.2f, %d flips", n, p, rate, flips),
+		Columns: []string{"snapshot", "η", "detail"},
+	}
+	for _, e := range sum.Etas {
+		detail := e.Text
+		value := fmt.Sprintf("%d", e.Value)
+		switch e.Name {
+		case "input":
+			// The input snapshot is the full measure breakdown in the
+			// detail column; there is no single scalar η.
+			value = "-"
+		case "residual":
+			if detail == "" {
+				detail = "nodes left undecided by the carve"
+			}
+		case "healed":
+			if detail == "" {
+				detail = "healed output verified"
+			}
+		}
+		t.AddRow(e.Name, value, detail)
+	}
+	t.Note("phases: %s", marksLine(sum))
+	t.Note("rounds: primary=%d recovery=%d residual=%d (healed=%v)",
+		res.PrimaryRounds, res.RecoveryRounds, res.Residual, res.Healed)
+	t.Render(os.Stdout)
+	if shared != nil {
+		for _, e := range events {
+			shared.Emit(e)
+		}
+	}
 	return nil
+}
+
+// marksLine renders the wrapper phase marks, or a placeholder for a run that
+// was already valid.
+func marksLine(sum obs.Summary) string {
+	if len(sum.Marks) == 0 {
+		return "(none)"
+	}
+	line := sum.Marks[0]
+	for _, m := range sum.Marks[1:] {
+		line += " -> " + m
+	}
+	return line
 }

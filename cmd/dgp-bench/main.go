@@ -11,6 +11,8 @@
 //	dgp-bench -enginestats     # per-round engine instrumentation demo
 //	dgp-bench -enginestats -n 8192 -par
 //	dgp-bench -chaos           # fault-rate × η degradation sweep
+//	dgp-bench -enginestats -metrics -          # Prometheus metrics to stdout
+//	dgp-bench -chaos -cpuprofile cpu.pprof     # profile the sweep
 package main
 
 import (
@@ -18,10 +20,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/pprof"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/graph"
 	"repro/internal/mis"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -39,7 +44,42 @@ func run() error {
 	chaos := flag.Bool("chaos", false, "run the fault-rate × η degradation sweep (self-healing runs)")
 	n := flag.Int("n", 4096, "ring size for -enginestats")
 	par := flag.Bool("par", false, "use the worker-pool engine for -enginestats")
+	metrics := flag.String("metrics", "", "with -enginestats or -chaos: write aggregated run metrics to this file ('-' = stdout; a .json suffix selects JSON, otherwise Prometheus text)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	var rec *obs.Recorder
+	if *metrics != "" {
+		if !*engineStats && !*chaos {
+			return fmt.Errorf("-metrics requires -enginestats or -chaos (the table experiments are deterministic renders with no run to meter)")
+		}
+		rec = obs.NewRecorder(0)
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {
@@ -48,10 +88,16 @@ func run() error {
 		return nil
 	}
 	if *engineStats {
-		return runEngineStats(*n, *par)
+		if err := runEngineStats(*n, *par, rec); err != nil {
+			return err
+		}
+		return writeMetrics(rec, *metrics)
 	}
 	if *chaos {
-		return runChaosSweep()
+		if err := runChaosSweep(rec); err != nil {
+			return err
+		}
+		return writeMetrics(rec, *metrics)
 	}
 	if *exp != "" {
 		e := bench.Find(*exp)
@@ -67,10 +113,39 @@ func run() error {
 	return nil
 }
 
+// writeMetrics aggregates the recorded trace into the metrics registry and
+// writes the snapshot — Prometheus text exposition, or JSON when the target
+// has a .json suffix.
+func writeMetrics(rec *obs.Recorder, path string) error {
+	if rec == nil || path == "" {
+		return nil
+	}
+	snap := obs.Aggregate(rec.Events()).Snapshot()
+	emit := func(w *os.File) error {
+		if strings.HasSuffix(path, ".json") {
+			return snap.WriteJSON(w)
+		}
+		return snap.WritePrometheus(w)
+	}
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runEngineStats exercises the engine instrumentation hook: greedy MIS on a
 // shuffled-ID ring, one table row per round with wall time, active nodes,
-// deliveries, and payload bits.
-func runEngineStats(n int, parallel bool) error {
+// deliveries, and payload bits. A non-nil recorder additionally captures the
+// full event trace for -metrics.
+func runEngineStats(n int, parallel bool, rec *obs.Recorder) error {
 	if n < 3 {
 		return fmt.Errorf("-n %d: need at least 3 nodes for a ring", n)
 	}
@@ -86,6 +161,7 @@ func runEngineStats(n int, parallel bool) error {
 		Factory:  mis.Solo(mis.Greedy()),
 		Parallel: parallel,
 		Stats:    func(s runtime.RoundStats) { stats = append(stats, s) },
+		Trace:    rec,
 	})
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@
 //	dgp-run -problem matching -alg simple -graph grid -n 144 -flips 4
 //	dgp-run -problem tree -alg simple -graph line -n 90 -flips 6 -show
 //	dgp-run -problem mis -graph gnp -n 150 -chaos 0.3 -heal
+//	dgp-run -problem mis -alg simple -graph gnp -n 150 -trace mis.jsonl -chrome mis.json
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -41,7 +43,10 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "seed for graphs, predictions, and seeded algorithms")
 		par      = flag.Bool("parallel", false, "use the goroutine engine")
 		show     = flag.Bool("show", false, "print the output vector")
-		trace    = flag.Bool("trace", false, "print a per-round trace (active node counts)")
+		progress = flag.Bool("progress", false, "print a per-round progress line (active node counts)")
+		traceOut = flag.String("trace", "", "write a JSONL event trace to this file ('-' = stdout); inspect with dgp-trace")
+		chrome   = flag.String("chrome", "", "write a Chrome trace_event timeline to this file (chrome://tracing, Perfetto)")
+		tracecap = flag.Int("tracecap", 0, "trace ring-buffer capacity in events (0 = default; oldest events drop on overflow)")
 		congest  = flag.Int("congest", 0, "enforce a CONGEST bit budget (0 = LOCAL)")
 		chaos    = flag.Float64("chaos", 0, "fault rate r: drop r, duplicate r/2, corrupt r/4, crash r/4 per message/node")
 		heal     = flag.Bool("heal", false, "self-heal faulted runs (Options.Recover)")
@@ -97,7 +102,7 @@ func run() error {
 		})
 		opts.Adversary = adversary
 	}
-	if *trace {
+	if *progress {
 		last := -1
 		opts.OnRound = func(round, active int) {
 			if active != last {
@@ -106,6 +111,11 @@ func run() error {
 			}
 		}
 	}
+	var rec *repro.TraceRecorder
+	if *traceOut != "" || *chrome != "" {
+		rec = repro.NewTraceRecorder(*tracecap)
+		opts.Trace = rec
+	}
 
 	err := runProblem(g, *problem, *alg, *flips, opts, *show)
 	if adversary != nil {
@@ -113,7 +123,45 @@ func run() error {
 		fmt.Printf("chaos: dropped=%d duplicated=%d corrupted=%d failedLinks=%d crashed=%d\n",
 			s.Dropped, s.Duplicated, s.Corrupted, s.FailedLinks, s.Crashed)
 	}
+	// The trace is written even when the run aborted: a terminal round event
+	// with the error is exactly what a failed run's trace is for.
+	if werr := writeTraces(rec, *traceOut, *chrome); werr != nil && err == nil {
+		err = werr
+	}
 	return err
+}
+
+// writeTraces flushes the recorder to the requested JSONL and Chrome
+// trace_event outputs.
+func writeTraces(rec *repro.TraceRecorder, jsonlPath, chromePath string) error {
+	if rec == nil {
+		return nil
+	}
+	events := rec.Events()
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "trace: ring buffer overflowed, oldest %d events dropped (raise -tracecap)\n", d)
+	}
+	write := func(path string, emit func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			return emit(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(jsonlPath, func(f *os.File) error { return obs.WriteJSONL(f, events) }); err != nil {
+		return err
+	}
+	return write(chromePath, func(f *os.File) error { return obs.WriteChromeTrace(f, events) })
 }
 
 func isqrt(n int) int {

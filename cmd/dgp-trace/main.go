@@ -1,0 +1,259 @@
+// Command dgp-trace inspects JSONL trace files written by dgp-run -trace
+// (or any obs.WriteJSONL stream): per-phase round budgets checked against
+// the paper bounds, fault timelines, η trajectories, Chrome trace_event
+// conversion, metrics aggregation, and canonical diffing of two traces
+// (the engine determinism contract: identical streams modulo durations).
+//
+// Usage:
+//
+//	dgp-trace summarize trace.jsonl
+//	dgp-trace filter -type fault -round 3 trace.jsonl
+//	dgp-trace diff seq.jsonl pool.jsonl
+//	dgp-trace chrome -o timeline.json trace.jsonl
+//	dgp-trace metrics -format json trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf(`usage: dgp-trace <command> [flags] <trace.jsonl>
+
+commands:
+  summarize  per-run totals, phase budgets vs observed rounds, fault timeline, η trajectory
+  filter     select events (by type, run, round, node, name) and re-emit JSONL
+  diff       compare two traces modulo durations; exit 1 at the first difference
+  chrome     convert to a Chrome trace_event timeline (chrome://tracing, Perfetto)
+  metrics    aggregate the stream into Prometheus text or JSON metrics`)
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "summarize":
+		return cmdSummarize(args[1:])
+	case "filter":
+		return cmdFilter(args[1:])
+	case "diff":
+		return cmdDiff(args[1:])
+	case "chrome":
+		return cmdChrome(args[1:])
+	case "metrics":
+		return cmdMetrics(args[1:])
+	default:
+		return usage()
+	}
+}
+
+// readTrace loads one JSONL trace file ("-" = stdin).
+func readTrace(path string) ([]obs.Event, error) {
+	if path == "-" {
+		return obs.ReadJSONL(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+// outWriter opens the -o target ("" or "-" = stdout). The caller must call
+// the returned close function.
+func outWriter(path string) (*os.File, func() error, error) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func oneTracePath(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one trace file, got %d args", fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+func cmdSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := oneTracePath(fs)
+	if err != nil {
+		return err
+	}
+	events, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	return obs.Summarize(events).WriteText(os.Stdout)
+}
+
+func cmdFilter(args []string) error {
+	fs := flag.NewFlagSet("filter", flag.ContinueOnError)
+	var (
+		typ   = fs.String("type", "", "keep only this event type (e.g. fault, span, round-end)")
+		runIx = fs.Int("run", -1, "keep only the i-th run (0-based; run-start opens a run)")
+		round = fs.Int("round", 0, "keep only this round (0 = all)")
+		node  = fs.Int("node", -1, "keep only this node identifier (-1 = all)")
+		name  = fs.String("name", "", "keep only events whose name contains this substring")
+		out   = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := oneTracePath(fs)
+	if err != nil {
+		return err
+	}
+	events, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	var kept []obs.Event
+	cur := -1
+	for _, e := range events {
+		if e.Type == obs.EvRunStart {
+			cur++
+		}
+		if *typ != "" && string(e.Type) != *typ {
+			continue
+		}
+		if *runIx >= 0 && cur != *runIx {
+			continue
+		}
+		if *round > 0 && e.Round != *round {
+			continue
+		}
+		if *node >= 0 && e.Node != *node {
+			continue
+		}
+		if *name != "" && !strings.Contains(e.Name, *name) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	w, closeFn, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(w, kept); err != nil {
+		closeFn()
+		return err
+	}
+	if err := closeFn(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kept %d/%d events\n", len(kept), len(events))
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("expected two trace files, got %d args", fs.NArg())
+	}
+	a, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	index, desc, ok := obs.Diff(obs.Canonical(a), obs.Canonical(b))
+	if ok {
+		fmt.Printf("traces match: %d events (durations ignored)\n", len(a))
+		return nil
+	}
+	return fmt.Errorf("traces differ at event %d: %s", index, desc)
+}
+
+func cmdChrome(args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := oneTracePath(fs)
+	if err != nil {
+		return err
+	}
+	events, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(w, events); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	var (
+		format = fs.String("format", "prom", "prom | json")
+		out    = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := oneTracePath(fs)
+	if err != nil {
+		return err
+	}
+	events, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	snap := obs.Aggregate(events).Snapshot()
+	w, closeFn, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "prom":
+		err = snap.WritePrometheus(w)
+	case "json":
+		err = snap.WriteJSON(w)
+	default:
+		err = fmt.Errorf("unknown -format %q (prom | json)", *format)
+	}
+	if err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}

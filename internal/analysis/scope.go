@@ -30,6 +30,7 @@ var DeterministicPkgs = []string{
 	"internal/stats",
 	"internal/bench",
 	"internal/problem",
+	"internal/obs",
 }
 
 // SeededPkgs are the suffixes of packages where every random draw and clock
@@ -46,6 +47,18 @@ var SeededPkgs = []string{
 	"internal/matching",
 	"internal/vcolor",
 	"internal/ecolor",
+	"internal/obs",
+}
+
+// ObservationalClockPkgs are the suffixes of packages whose wall-clock reads
+// are sanctioned as a package-scoped policy: the observability layer reads
+// the clock to decorate trace records and metrics, and funnels every read
+// through obs.Now/obs.Since so the exemption is one audited package rather
+// than a scatter of per-line //lint:allow directives. Unseeded randomness
+// stays forbidden in these packages; only the clock rule is relaxed, and the
+// clock values must never feed back into algorithm or engine state.
+var ObservationalClockPkgs = []string{
+	"internal/obs",
 }
 
 // WrapErrPkgs are the suffixes of the framework packages whose errors must

@@ -6,7 +6,10 @@
 // replay silently.
 //
 // Allowed: rand.New and rand.NewSource (the caller supplies the seed) and
-// every method on an explicit *rand.Rand value.
+// every method on an explicit *rand.Rand value. Packages listed in
+// analysis.ObservationalClockPkgs (the observability layer) may read the
+// wall clock — their reads only decorate trace records — but their
+// randomness is still held to the seeded rule.
 package seededrand
 
 import (
@@ -45,6 +48,7 @@ func run(pass *analysis.Pass) error {
 	if !analysis.PathInScope(pass.Pkg.Path(), analysis.SeededPkgs) {
 		return nil
 	}
+	clockOK := analysis.PathInScope(pass.Pkg.Path(), analysis.ObservationalClockPkgs)
 	analysis.Inspect(pass, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
@@ -65,7 +69,7 @@ func run(pass *analysis.Pass) error {
 					fn.Pkg().Name(), fn.Name())
 			}
 		case "time":
-			if clockReads[fn.Name()] {
+			if clockReads[fn.Name()] && !clockOK {
 				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic path; "+
 					"derive timing from round numbers or a seeded source, or suppress with //lint:allow seededrand (reason)",
 					fn.Name())

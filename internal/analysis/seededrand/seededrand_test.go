@@ -9,5 +9,5 @@ import (
 
 func TestSeededRand(t *testing.T) {
 	analysistest.Run(t, "../testdata", seededrand.Analyzer,
-		"fixtures/internal/predict", "fixtures/plain")
+		"fixtures/internal/predict", "fixtures/internal/obs", "fixtures/plain")
 }

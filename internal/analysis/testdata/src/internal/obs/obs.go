@@ -1,0 +1,33 @@
+// Package obs is a seededrand fixture for the observational-clock policy.
+// Its import path ends in internal/obs, which sits in both SeededPkgs and
+// ObservationalClockPkgs: wall-clock reads pass without per-line directives,
+// while unseeded randomness is still a finding.
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Now mirrors the real obs.Now funnel: a bare clock read, sanctioned for the
+// whole package by the observational-clock policy — no allow directive.
+func Now() time.Time {
+	return time.Now()
+}
+
+// Since likewise passes under the package policy.
+func Since(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+// Jitter draws from process-global random state: the policy relaxes only the
+// clock rule, so this is still a finding.
+func Jitter() int {
+	return rand.Intn(10) // want `rand.Intn draws from process-global random state`
+}
+
+// SeededJitter threads an explicit seed and passes as everywhere else.
+func SeededJitter(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -95,6 +96,21 @@ func (c *StageCtx) Yield() { c.yielded = true }
 
 // Fail records a protocol error that aborts the run.
 func (c *StageCtx) Fail(err error) { c.env.Fail(err) }
+
+// Tracing reports whether a trace recorder is attached to the run; guard
+// annotation-string construction on it to keep the disabled path free.
+func (c *StageCtx) Tracing() bool { return c.env.Tracing() }
+
+// Annotate stages a trace annotation for this node (see runtime.Env's
+// Annotate); the combinators use it to mark stage and lane transitions.
+func (c *StageCtx) Annotate(name string, value int64) { c.env.Annotate(name, value) }
+
+// annotateStage stages the span annotation for entering a named stage with
+// the given round budget. All combinators funnel through this so stage
+// spans share one naming convention (obs.SpanStagePrefix + name).
+func annotateStage(env *runtime.Env, name string, budget int) {
+	env.Annotate(obs.SpanStagePrefix+name, int64(budget))
+}
 
 // taggedMsg wraps a stage payload with the lane and stage it belongs to.
 type taggedMsg struct {

@@ -29,17 +29,19 @@ func Interleaved(mem MemoryFactory, b Stage, u StageFactory, r StageFactory, sch
 			m = mem(info, pred)
 		}
 		im := &interleavedMachine{
-			info:  info,
-			pred:  pred,
-			mem:   m,
-			b:     b.New(info, pred, m),
-			bCtx:  StageCtx{mem: m},
-			bLeft: b.Budget,
-			u:     u,
-			r:     r,
-			sched: sched(info),
-			uCtx:  StageCtx{mem: m},
-			rCtx:  StageCtx{mem: m},
+			info:    info,
+			pred:    pred,
+			mem:     m,
+			b:       b.New(info, pred, m),
+			bName:   b.Name,
+			bBudget: b.Budget,
+			bCtx:    StageCtx{mem: m},
+			bLeft:   b.Budget,
+			u:       u,
+			r:       r,
+			sched:   sched(info),
+			uCtx:    StageCtx{mem: m},
+			rCtx:    StageCtx{mem: m},
 		}
 		if im.bLeft <= 0 {
 			im.bLeft = 1
@@ -54,15 +56,24 @@ const (
 	laneR    uint8 = 2
 )
 
+// Lane span names: the interleaved lanes are anonymous StageFactories, so
+// their trace spans carry fixed combinator-level names.
+const (
+	spanLaneU = "interleave/U"
+	spanLaneR = "interleave/R"
+)
+
 type interleavedMachine struct {
 	info runtime.NodeInfo
 	pred any
 	mem  any
 
 	// Initialization stage.
-	b     StageMachine
-	bCtx  StageCtx
-	bLeft int
+	b       StageMachine
+	bName   string
+	bBudget int
+	bCtx    StageCtx
+	bLeft   int
 
 	// Lane machines, created lazily when initialization completes.
 	u, r         StageFactory
@@ -96,11 +107,21 @@ func (m *interleavedMachine) laneAt(pos int) uint8 {
 
 func (m *interleavedMachine) Send(env *runtime.Env) []runtime.Out {
 	if m.b != nil {
+		if env.Tracing() {
+			annotateStage(env, m.bName, m.bBudget)
+		}
 		m.bCtx.env = env
 		m.bCtx.stageRound++
 		return wrapOuts(m.b.Send(&m.bCtx), laneInit, 0)
 	}
 	m.curLane = m.laneAt(m.pos)
+	if env.Tracing() {
+		if m.curLane == laneU {
+			annotateStage(env, spanLaneU, 0)
+		} else {
+			annotateStage(env, spanLaneR, 0)
+		}
+	}
 	if m.curLane == laneU {
 		if m.uDone {
 			return nil

@@ -95,13 +95,28 @@ type parallelMachine struct {
 	r2Ctx  StageCtx
 }
 
+// Section span names for the anonymous parallel-template lanes.
+const (
+	spanParallel = "parallel/U+R1"
+	spanR2       = "parallel/R2"
+)
+
 func (m *parallelMachine) Send(env *runtime.Env) []runtime.Out {
 	switch {
 	case m.b != nil:
+		if env.Tracing() {
+			annotateStage(env, m.spec.B.Name, m.spec.B.Budget)
+		}
 		m.bCtx.env = env
 		m.bCtx.stageRound++
 		return wrapOuts(m.b.Send(&m.bCtx), planeB, 0)
 	case m.left > 0:
+		if env.Tracing() {
+			// The parallel section runs exactly R1's declared budget, which
+			// at section entry is the full residual m.left (summaries keep
+			// the first declared budget).
+			annotateStage(env, spanParallel, m.left)
+		}
 		m.uCtx.env = env
 		m.uCtx.stageRound++
 		outs := wrapOuts(m.uMach.Send(&m.uCtx), planeU, 0)
@@ -122,10 +137,16 @@ func (m *parallelMachine) Send(env *runtime.Env) []runtime.Out {
 		}
 		return outs
 	case m.cMach != nil:
+		if env.Tracing() {
+			annotateStage(env, m.spec.C.Name, m.spec.C.Budget)
+		}
 		m.cCtx.env = env
 		m.cCtx.stageRound++
 		return wrapOuts(m.cMach.Send(&m.cCtx), planeC, 0)
 	case m.r2Mach != nil:
+		if env.Tracing() {
+			annotateStage(env, spanR2, 0)
+		}
 		m.r2Ctx.env = env
 		m.r2Ctx.stageRound++
 		return wrapOuts(m.r2Mach.Send(&m.r2Ctx), plane2, 0)

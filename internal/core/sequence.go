@@ -55,6 +55,11 @@ func (s *seqMachine) Send(env *runtime.Env) []runtime.Out {
 		env.Fail(fmt.Errorf("%w: core: node %d active past final stage without output", runtime.ErrProtocol, env.ID()))
 		return nil
 	}
+	// One span note per round in the stage: summaries then see the stage's
+	// true round span and node-rounds, not just its entry.
+	if env.Tracing() {
+		annotateStage(env, s.stages[s.cur].Name, s.stages[s.cur].Budget)
+	}
 	s.ctx.env = env
 	s.ctx.stageRound++
 	outs := s.machine.Send(&s.ctx)

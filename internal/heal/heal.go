@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/verify"
 )
@@ -264,6 +265,10 @@ func RunRecovered(cfg runtime.Config, spec Spec) (*Report, error) {
 			chain(round, outputs, active)
 		}
 	}
+	tr := cfg.Trace
+	if tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvPhase, Name: "primary"})
+	}
 	res, err := runtime.Run(cfg)
 	if err != nil && errors.Is(err, runtime.ErrConfig) {
 		// The run never started: misconfiguration, not damage.
@@ -286,10 +291,25 @@ func RunRecovered(cfg runtime.Config, spec Spec) (*Report, error) {
 	if err == nil && spec.Verify(g, outs) == nil {
 		report.Valid = true
 		report.Output = outs
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvPhase, Name: "valid"})
+		}
 		return report, nil
 	}
 	partial, residual := spec.Carve(g, outs)
 	report.Residual = len(residual)
+	if tr != nil {
+		// Carve stats: Value = residual (nodes left undecided), Aux = how
+		// many previously decided outputs the carve demoted.
+		demoted := 0
+		for i := 0; i < n; i++ {
+			if outs[i] != verify.Undecided && partial[i] == verify.Undecided {
+				demoted++
+			}
+		}
+		tr.Emit(obs.Event{Type: obs.EvCarve, Value: int64(len(residual)), Aux: int64(demoted)})
+		tr.Emit(obs.Event{Type: obs.EvPhase, Name: "recovery"})
+	}
 	preds := make([]any, n)
 	for i, p := range partial {
 		if p == verify.Undecided {
@@ -304,6 +324,7 @@ func RunRecovered(cfg runtime.Config, spec Spec) (*Report, error) {
 		Predictions: preds,
 		Parallel:    cfg.Parallel,
 		MaxRounds:   spec.HealMaxRounds,
+		Trace:       tr,
 	})
 	if healErr != nil {
 		return nil, fmt.Errorf("heal: recovery run failed: %w", healErr)
@@ -322,5 +343,8 @@ func RunRecovered(cfg runtime.Config, spec Spec) (*Report, error) {
 	report.RecoveryRounds = healRes.Rounds
 	report.RecoveryMessages = healRes.Messages
 	report.Output = healed
+	if tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvPhase, Name: "healed"})
+	}
 	return report, nil
 }

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the trace serialization layer: JSONL (the native on-disk
+// format, one event per line), the Chrome trace_event format (loadable in
+// chrome://tracing or Perfetto), and the canonicalization/diff helpers the
+// engine-parity checks build on.
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace. Blank lines are ignored; a malformed
+// line is an error naming its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Canonical returns a copy of events with every wall-clock field zeroed.
+// Two canonical traces of the same seeded run are identical across engine
+// modes; everything except DurNS is part of the determinism contract.
+func Canonical(events []Event) []Event {
+	out := make([]Event, len(events))
+	copy(out, events)
+	for i := range out {
+		out[i].DurNS = 0
+	}
+	return out
+}
+
+// Diff compares two canonicalized traces and returns the index and a
+// description of the first difference, or ok = true when the traces match.
+// Callers pass Canonical(...) of each side to compare modulo wall clock.
+func Diff(a, b []Event) (index int, desc string, ok bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i, fmt.Sprintf("event %d differs:\n  a: %s\n  b: %s", i, eventLine(a[i]), eventLine(b[i])), false
+		}
+	}
+	if len(a) != len(b) {
+		return n, fmt.Sprintf("lengths differ: %d vs %d events", len(a), len(b)), false
+	}
+	return 0, "", true
+}
+
+// eventLine renders one event as its JSONL line (for diagnostics).
+func eventLine(e Event) string {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Sprintf("%+v", e)
+	}
+	return string(b)
+}
+
+// chromeEvent is one record of the Chrome trace_event format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// roundTicks is the logical length of one round on the Chrome timeline, in
+// microseconds. The timeline is round-indexed (deterministic), not
+// wall-clock-indexed; real durations ride along as args.
+const roundTicks = 1000
+
+// WriteChromeTrace renders events in the Chrome trace_event JSON format:
+// rounds become complete ("X") slices on thread 0, runs become slices on a
+// run-level track, and node-scoped events become instants on per-node
+// threads, all on a deterministic round-indexed timeline. Load the output
+// in chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+	runBase := int64(0) // timeline offset of the current run
+	lastRound := int64(0)
+	ts := func(round int) int64 {
+		if round < 1 {
+			return runBase
+		}
+		return runBase + int64(round-1)*roundTicks
+	}
+	for _, e := range events {
+		if int64(e.Round) > lastRound {
+			lastRound = int64(e.Round)
+		}
+		switch e.Type {
+		case EvRunStart:
+			out = append(out, chromeEvent{
+				Name: "run", Cat: "run", Phase: "B", TS: runBase, PID: 1, TID: 0,
+				Args: map[string]any{"n": e.Value, "m": e.Aux},
+			})
+		case EvRunEnd:
+			end := runBase + lastRound*roundTicks
+			args := map[string]any{"rounds": e.Value, "messages": e.Aux}
+			if e.Err != "" {
+				args["error"] = e.Err
+			}
+			out = append(out, chromeEvent{
+				Name: "run", Cat: "run", Phase: "E", TS: end, PID: 1, TID: 0, Args: args,
+			})
+			// The next run (e.g. a healing run) continues further down the
+			// timeline instead of overlapping this one.
+			runBase = end + roundTicks
+			lastRound = 0
+		case EvRoundStart:
+			// The matching EvRoundEnd renders the whole round; nothing here.
+		case EvRoundEnd:
+			args := map[string]any{"messages": e.Value, "bits": e.Aux}
+			if e.DurNS > 0 {
+				args["wall_ns"] = e.DurNS
+			}
+			if e.Err != "" {
+				args["error"] = e.Err
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("round %d", e.Round), Cat: "round", Phase: "X",
+				TS: ts(e.Round), Dur: roundTicks, PID: 1, TID: 0, Args: args,
+			})
+		case EvCrash, EvFault, EvOutput, EvSpan, EvBatch:
+			name := string(e.Type)
+			if e.Name != "" {
+				name = fmt.Sprintf("%s:%s", e.Type, e.Name)
+			}
+			out = append(out, chromeEvent{
+				Name: name, Cat: string(e.Type), Phase: "i",
+				TS: ts(e.Round), PID: 1, TID: e.Node,
+				Args: map[string]any{"value": e.Value, "aux": e.Aux},
+			})
+		case EvDeadline, EvPhase, EvCarve, EvEta, EvMeta:
+			args := map[string]any{"value": e.Value, "aux": e.Aux}
+			if e.Text != "" {
+				args["text"] = e.Text
+			}
+			if e.Err != "" {
+				args["error"] = e.Err
+			}
+			name := string(e.Type)
+			if e.Name != "" {
+				name = fmt.Sprintf("%s:%s", e.Type, e.Name)
+			}
+			out = append(out, chromeEvent{
+				Name: name, Cat: string(e.Type), Phase: "i",
+				TS: ts(e.Round), PID: 1, TID: 0, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics half of the observability layer: a small
+// registry of counters, gauges, and histograms with snapshot-based export
+// in Prometheus text format and JSON. Metric names may carry a Prometheus
+// label suffix (`dgp_faults_total{kind="drop"}`); the registry treats the
+// full string as the series key and the export groups series by base name.
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (negative deltas are a caller bug but are not rejected; the
+// export reports whatever was accumulated).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a floating-point metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the current value (not atomic across concurrent Adds with
+// Set; the repository's emitters are single-goroutine).
+func (g *Gauge) Add(d float64) { g.Set(g.Value() + d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed upper-bound buckets
+// (cumulative on export, Prometheus-style; a +Inf bucket is implicit).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	inf    uint64
+	sum    float64
+	count  uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf++
+	}
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// DefaultDurationBuckets are upper bounds in seconds suited to per-round
+// wall times: 1µs up to ~1s.
+var DefaultDurationBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
+}
+
+// Registry holds named metric series. The zero value is not usable; call
+// NewRegistry. Lookups create the series on first use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (ascending) on first use; later calls ignore buckets.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		bounds := make([]float64, len(buckets))
+		copy(bounds, buckets)
+		h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// SeriesValue is one exported scalar series.
+type SeriesValue struct {
+	// Name is the full series name, including any label suffix.
+	Name string `json:"name"`
+	// Value is the scalar value at snapshot time.
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one exported histogram series.
+type HistogramValue struct {
+	// Name is the series name.
+	Name string `json:"name"`
+	// Bounds are the bucket upper bounds; Counts are cumulative per bound.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	// Sum and Count aggregate all observations (including over-range ones).
+	Sum   float64 `json:"sum"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by name so that
+// exports are deterministic.
+type Snapshot struct {
+	Counters   []SeriesValue    `json:"counters"`
+	Gauges     []SeriesValue    `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// sortedKeys returns m's keys in ascending order (map iteration feeds a
+// sort, never the output directly — the maporder discipline).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, SeriesValue{Name: name, Value: float64(r.counters[name].Value())})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, SeriesValue{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		h.mu.Lock()
+		hv := HistogramValue{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.sum,
+			Count:  h.count,
+		}
+		cum := uint64(0)
+		for i, c := range h.counts {
+			cum += c
+			hv.Counts[i] = cum
+		}
+		h.mu.Unlock()
+		s.Histograms = append(s.Histograms, hv)
+	}
+	return s
+}
+
+// baseName strips a Prometheus label suffix from a series name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// fmtFloat renders a metric value the way Prometheus text format expects:
+// integers without a decimal point, everything else in shortest form.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, series sorted by name and grouped under one TYPE line per base
+// name.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	writeGroup := func(series []SeriesValue, typ string) error {
+		lastBase := ""
+		for _, sv := range series {
+			base := baseName(sv.Name)
+			if base != lastBase {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ); err != nil {
+					return err
+				}
+				lastBase = base
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", sv.Name, fmtFloat(sv.Value)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeGroup(s.Counters, "counter"); err != nil {
+		return err
+	}
+	if err := writeGroup(s.Gauges, "gauge"); err != nil {
+		return err
+	}
+	for _, h := range s.Histograms {
+		base := baseName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+			return err
+		}
+		for i, b := range h.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", base, fmtFloat(b), h.Counts[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", base, fmtFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", base, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

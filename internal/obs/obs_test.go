@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRingOverflow(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Type: EvRoundStart, Round: i + 1})
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if want := 7 + i; e.Round != want {
+			t.Fatalf("event %d round = %d, want %d (oldest-first window)", i, e.Round, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("Reset did not clear: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if len(r.buf) != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", len(r.buf), DefaultCapacity)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Type: EvRunStart, Value: 16, Aux: 32},
+		{Type: EvRoundEnd, Round: 1, Value: 12, Aux: 480, DurNS: 1234},
+		{Type: EvSpan, Round: 1, Node: 3, Name: "stage:mis/init", Value: 3},
+		{Type: EvRunEnd, Value: 9, Aux: 100, Err: "round deadline exceeded"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	out, err := ReadJSONL(strings.NewReader(buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestCanonicalAndDiff(t *testing.T) {
+	a := []Event{
+		{Type: EvRoundEnd, Round: 1, Value: 5, DurNS: 100},
+		{Type: EvRunEnd, Value: 1},
+	}
+	b := []Event{
+		{Type: EvRoundEnd, Round: 1, Value: 5, DurNS: 900},
+		{Type: EvRunEnd, Value: 1},
+	}
+	if _, desc, ok := Diff(Canonical(a), Canonical(b)); !ok {
+		t.Fatalf("canonical traces should match: %s", desc)
+	}
+	if a[0].DurNS != 100 {
+		t.Fatal("Canonical mutated its input")
+	}
+	b[1].Value = 2
+	if i, _, ok := Diff(Canonical(a), Canonical(b)); ok || i != 1 {
+		t.Fatalf("Diff = (%d, ok=%v), want first difference at 1", i, ok)
+	}
+	if i, _, ok := Diff(a, a[:1]); ok || i != 1 {
+		t.Fatalf("length Diff = (%d, ok=%v), want difference at 1", i, ok)
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	events := []Event{
+		{Type: EvRunStart, Value: 8, Aux: 8},
+		{Type: EvRoundStart, Round: 1, Value: 8},
+		{Type: EvFault, Round: 1, Node: 2, Name: "drop", Value: 64},
+		{Type: EvRoundEnd, Round: 1, Value: 7, Aux: 448, DurNS: 999},
+		{Type: EvOutput, Round: 1, Node: 5, Value: 1},
+		{Type: EvRunEnd, Value: 1, Aux: 7},
+		{Type: EvPhase, Name: "recovery"},
+		{Type: EvRunStart, Value: 8, Aux: 8},
+		{Type: EvRoundEnd, Round: 1, Value: 3, Aux: 96},
+		{Type: EvRunEnd, Value: 1, Aux: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty chrome trace")
+	}
+	for i, rec := range out {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("record %d missing %q: %v", i, key, rec)
+			}
+		}
+	}
+	// The second run must start strictly after the first run's rounds.
+	var runBegins []float64
+	for _, rec := range out {
+		if rec["name"] == "run" && rec["ph"] == "B" {
+			runBegins = append(runBegins, rec["ts"].(float64))
+		}
+	}
+	if len(runBegins) != 2 || runBegins[1] <= runBegins[0] {
+		t.Fatalf("run begins = %v, want two strictly increasing timestamps", runBegins)
+	}
+}
+
+func TestMetricsRegistryAndExport(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dgp_rounds_total").Add(7)
+	reg.Counter("dgp_rounds_total").Inc()
+	reg.Counter(`dgp_faults_total{kind="drop"}`).Add(3)
+	reg.Counter(`dgp_faults_total{kind="corrupt"}`).Inc()
+	reg.Gauge("dgp_eta").Set(0.25)
+	h := reg.Histogram("dgp_round_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5) // over-range -> +Inf only
+
+	if got := reg.Counter("dgp_rounds_total").Value(); got != 8 {
+		t.Fatalf("counter = %d, want 8", got)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 3 {
+		t.Fatalf("counters = %d, want 3", len(snap.Counters))
+	}
+	// Sorted order: corrupt before drop before rounds_total.
+	if !strings.Contains(snap.Counters[0].Name, "corrupt") {
+		t.Fatalf("snapshot not sorted: %v", snap.Counters)
+	}
+	hv := snap.Histograms[0]
+	if hv.Count != 3 || hv.Counts[0] != 1 || hv.Counts[1] != 2 {
+		t.Fatalf("histogram cumulative counts wrong: %+v", hv)
+	}
+
+	var prom bytes.Buffer
+	if err := snap.WritePrometheus(&prom); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE dgp_faults_total counter",
+		`dgp_faults_total{kind="drop"} 3`,
+		"dgp_rounds_total 8",
+		"# TYPE dgp_round_seconds histogram",
+		`dgp_round_seconds_bucket{le="+Inf"} 3`,
+		"dgp_round_seconds_count 3",
+		"dgp_eta 0.25",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	// One TYPE line per base name, even with two labeled series.
+	if strings.Count(text, "# TYPE dgp_faults_total") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", text)
+	}
+
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(back.Counters) != 3 || len(back.Histograms) != 1 {
+		t.Fatalf("JSON round trip lost series: %+v", back)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Type: EvMeta, Name: "mis/simple", Text: "seed=1"},
+		{Type: EvEta, Name: "input", Value: 4, Text: "eta=4"},
+		{Type: EvRunStart, Value: 16, Aux: 16},
+		{Type: EvRoundStart, Round: 1, Value: 16},
+		{Type: EvSpan, Round: 1, Node: 1, Name: "stage:mis/init", Value: 3},
+		{Type: EvSpan, Round: 1, Node: 2, Name: "stage:mis/init", Value: 3},
+		{Type: EvFault, Round: 1, Node: 3, Name: "drop", Value: 64},
+		{Type: EvFault, Round: 1, Node: 4, Name: "drop", Value: 32},
+		{Type: EvRoundEnd, Round: 1, Value: 14, Aux: 700, DurNS: 50},
+		{Type: EvRoundStart, Round: 2, Value: 16},
+		{Type: EvSpan, Round: 2, Node: 1, Name: "stage:mis/base"},
+		{Type: EvOutput, Round: 2, Node: 7, Value: 1},
+		{Type: EvCrash, Round: 2, Node: 9},
+		{Type: EvFault, Round: 2, Node: 2, Name: "corrupt"},
+		{Type: EvRoundEnd, Round: 2, Value: 10, Aux: 500, DurNS: 40},
+		{Type: EvRunEnd, Value: 2, Aux: 24},
+		{Type: EvPhase, Name: "recovery"},
+		{Type: EvRunStart, Value: 16, Aux: 16},
+		{Type: EvSpan, Round: 1, Node: 1, Name: "stage:mis/init", Value: 3},
+		{Type: EvRoundEnd, Round: 1, Value: 5, Aux: 250},
+		{Type: EvRunEnd, Value: 1, Aux: 5},
+		{Type: EvEta, Name: "healed", Value: 0, Text: "eta=0"},
+	}
+	s := Summarize(events)
+	if s.Meta != "mis/simple" {
+		t.Fatalf("Meta = %q", s.Meta)
+	}
+	if len(s.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(s.Runs))
+	}
+	r0 := s.Runs[0]
+	if r0.N != 16 || r0.Rounds != 2 || r0.Messages != 24 || r0.Bits != 1200 {
+		t.Fatalf("run 0 = %+v", r0)
+	}
+	if r0.Dropped != 2 || r0.DroppedBits != 96 || r0.Corrupted != 1 {
+		t.Fatalf("run 0 fault accounting = %+v", r0)
+	}
+	if r0.Crashes != 1 || r0.Outputs != 1 {
+		t.Fatalf("run 0 crash/output = %+v", r0)
+	}
+	if s.TotalRounds() != 3 {
+		t.Fatalf("TotalRounds = %d, want 3", s.TotalRounds())
+	}
+	// Phases: (run0, mis/init), (run0, mis/base), (run1, mis/init).
+	if len(s.Phases) != 3 {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	p := s.Phases[0]
+	if p.Name != "mis/init" || p.Run != 0 || p.Entries != 2 || p.Budget != 3 || p.Rounds() != 1 || p.OverBudget() {
+		t.Fatalf("phase 0 = %+v", p)
+	}
+	if s.Phases[2].Run != 1 {
+		t.Fatalf("phase 2 should belong to run 1: %+v", s.Phases[2])
+	}
+	// Faults coalesce per (run, round, kind).
+	if len(s.Faults) != 2 || s.Faults[0].Count != 2 || s.Faults[1].Kind != "corrupt" {
+		t.Fatalf("faults = %+v", s.Faults)
+	}
+	if len(s.Etas) != 2 || s.Etas[1].Name != "healed" || s.Etas[1].Run != 1 {
+		t.Fatalf("etas = %+v", s.Etas)
+	}
+	if len(s.Marks) != 1 || s.Marks[0] != "recovery" {
+		t.Fatalf("marks = %+v", s.Marks)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{"mis/simple", "mis/init", "within", "drop", "recovery"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSummarizeOverBudget(t *testing.T) {
+	events := []Event{
+		{Type: EvRunStart, Value: 4, Aux: 4},
+		{Type: EvSpan, Round: 1, Node: 1, Name: "stage:x", Value: 2},
+		{Type: EvSpan, Round: 4, Node: 1, Name: "stage:x", Value: 2},
+		{Type: EvRunEnd, Value: 4},
+	}
+	s := Summarize(events)
+	if len(s.Phases) != 1 || !s.Phases[0].OverBudget() {
+		t.Fatalf("expected over-budget phase: %+v", s.Phases)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OVER (+2)") {
+		t.Fatalf("missing OVER verdict:\n%s", buf.String())
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	events := []Event{
+		{Type: EvRunStart, Value: 8, Aux: 12},
+		{Type: EvRoundEnd, Round: 1, Value: 10, Aux: 400, DurNS: 2_000_000},
+		{Type: EvFault, Round: 1, Name: "drop", Value: 64},
+		{Type: EvFault, Round: 1, Name: "drop", Value: 32},
+		{Type: EvFault, Round: 1, Name: "corrupt"},
+		{Type: EvCrash, Round: 1, Node: 3},
+		{Type: EvOutput, Round: 1, Node: 2, Value: 0},
+		{Type: EvRunEnd, Value: 1, Aux: 10, Err: "boom"},
+		{Type: EvEta, Name: "input", Value: 3},
+	}
+	reg := Aggregate(events)
+	checks := map[string]int64{
+		"dgp_runs_total":                   1,
+		"dgp_rounds_total":                 1,
+		"dgp_messages_delivered_total":     10,
+		"dgp_bits_delivered_total":         400,
+		`dgp_faults_total{kind="drop"}`:    2,
+		`dgp_faults_total{kind="corrupt"}`: 1,
+		"dgp_bits_dropped_total":           96,
+		"dgp_crashes_total":                1,
+		"dgp_outputs_total":                1,
+		"dgp_run_errors_total":             1,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge(`dgp_eta{phase="input"}`).Value(); got != 3 {
+		t.Fatalf("eta gauge = %v, want 3", got)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("round histogram = %+v", snap.Histograms)
+	}
+}

@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file turns a raw event stream into the aggregate views the tooling
+// exposes: Summarize builds a structured per-run/per-phase digest (the body
+// of `dgp-trace summarize`), and Aggregate folds a stream into a metrics
+// Registry (the body of `dgp-bench -metrics`).
+
+// PhaseSummary aggregates the span entries of one named template stage (or
+// lane/section) within one run.
+type PhaseSummary struct {
+	// Run is the 0-based run index within the trace (heal traces hold a
+	// primary run followed by a recovery run).
+	Run int `json:"run"`
+	// Name is the span name without the "stage:" prefix.
+	Name string `json:"name"`
+	// FirstRound and LastRound bound the rounds in which the span appeared.
+	FirstRound int `json:"first_round"`
+	LastRound  int `json:"last_round"`
+	// Entries counts span events (≈ node-rounds spent in the stage).
+	Entries int `json:"entries"`
+	// Budget is the stage's declared round budget (0 = none declared).
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// Rounds returns how many rounds the phase spanned.
+func (p PhaseSummary) Rounds() int { return p.LastRound - p.FirstRound + 1 }
+
+// OverBudget reports whether a declared budget was exceeded.
+func (p PhaseSummary) OverBudget() bool {
+	return p.Budget > 0 && int64(p.Rounds()) > p.Budget
+}
+
+// FaultCount is one (round, kind) fault-timeline entry.
+type FaultCount struct {
+	Run   int    `json:"run"`
+	Round int    `json:"round"`
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// EtaPoint is one error-measure snapshot in trace order.
+type EtaPoint struct {
+	Run   int    `json:"run"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Text  string `json:"text,omitempty"`
+}
+
+// RunSummary aggregates one engine run within a trace.
+type RunSummary struct {
+	// Run is the 0-based run index.
+	Run int `json:"run"`
+	// N and M are the node and edge counts from the run-start event.
+	N int64 `json:"n"`
+	M int64 `json:"m"`
+	// Rounds is the last executed round.
+	Rounds int64 `json:"rounds"`
+	// Messages and Bits count delivered traffic (duplicates included).
+	Messages int64 `json:"messages"`
+	Bits     int64 `json:"bits"`
+	// Dropped and DroppedBits count adversary-dropped traffic; Corrupted
+	// counts corrupted deliveries; Duplicated counts extra injected copies.
+	Dropped     int64 `json:"dropped,omitempty"`
+	DroppedBits int64 `json:"dropped_bits,omitempty"`
+	Corrupted   int64 `json:"corrupted,omitempty"`
+	Duplicated  int64 `json:"duplicated,omitempty"`
+	// Crashes counts crash events; Outputs counts decision commits;
+	// Deadlines counts watchdog hits.
+	Crashes   int `json:"crashes,omitempty"`
+	Outputs   int `json:"outputs,omitempty"`
+	Deadlines int `json:"deadlines,omitempty"`
+	// Err is the run's terminal error, if it aborted.
+	Err string `json:"err,omitempty"`
+}
+
+// Summary is the structured digest of one trace.
+type Summary struct {
+	// Meta is the "problem/algorithm" label from the meta event, if present.
+	Meta string `json:"meta,omitempty"`
+	// MetaText carries the meta event's free-form text.
+	MetaText string `json:"meta_text,omitempty"`
+	// Runs holds one entry per engine run in trace order.
+	Runs []RunSummary `json:"runs"`
+	// Phases holds per-stage aggregates in first-appearance order.
+	Phases []PhaseSummary `json:"phases,omitempty"`
+	// Faults is the fault timeline in trace order.
+	Faults []FaultCount `json:"faults,omitempty"`
+	// Etas is the η trajectory in trace order.
+	Etas []EtaPoint `json:"etas,omitempty"`
+	// Marks are wrapper-level phase markers (heal: primary/valid/...).
+	Marks []string `json:"marks,omitempty"`
+	// Events is the total event count summarized.
+	Events int `json:"events"`
+}
+
+// TotalRounds sums rounds across all runs.
+func (s Summary) TotalRounds() int64 {
+	var t int64
+	for _, r := range s.Runs {
+		t += r.Rounds
+	}
+	return t
+}
+
+// SpanStagePrefix marks machine annotations that open a named template
+// stage; the remainder of the annotation is the stage name.
+const SpanStagePrefix = "stage:"
+
+// Summarize folds an event stream into a Summary. It tolerates truncated
+// traces (ring overflow): a run with no run-start still accumulates.
+func Summarize(events []Event) Summary {
+	var s Summary
+	s.Events = len(events)
+	run := -1
+	ensureRun := func() *RunSummary {
+		if run < 0 || run >= len(s.Runs) {
+			s.Runs = append(s.Runs, RunSummary{Run: len(s.Runs)})
+			run = len(s.Runs) - 1
+		}
+		return &s.Runs[run]
+	}
+	phaseIdx := make(map[string]int) // "run/name" -> index into s.Phases
+	faultIdx := make(map[string]int) // "run/round/kind" -> index into s.Faults
+	for _, e := range events {
+		switch e.Type {
+		case EvMeta:
+			s.Meta = e.Name
+			s.MetaText = e.Text
+		case EvRunStart:
+			s.Runs = append(s.Runs, RunSummary{Run: len(s.Runs), N: e.Value, M: e.Aux})
+			run = len(s.Runs) - 1
+		case EvRunEnd:
+			r := ensureRun()
+			r.Rounds = e.Value
+			r.Messages = e.Aux
+			r.Err = e.Err
+		case EvRoundEnd:
+			r := ensureRun()
+			r.Bits += e.Aux
+			if e.Err != "" {
+				r.Err = e.Err
+			}
+		case EvCrash:
+			ensureRun().Crashes++
+		case EvOutput:
+			ensureRun().Outputs++
+		case EvDeadline:
+			ensureRun().Deadlines++
+		case EvFault:
+			r := ensureRun()
+			switch e.Name {
+			case "drop":
+				r.Dropped++
+				r.DroppedBits += e.Value
+			case "corrupt":
+				r.Corrupted++
+			case "duplicate":
+				r.Duplicated += e.Value
+			}
+			key := fmt.Sprintf("%d/%d/%s", r.Run, e.Round, e.Name)
+			if i, ok := faultIdx[key]; ok {
+				s.Faults[i].Count++
+			} else {
+				faultIdx[key] = len(s.Faults)
+				s.Faults = append(s.Faults, FaultCount{Run: r.Run, Round: e.Round, Kind: e.Name, Count: 1})
+			}
+		case EvSpan:
+			if !strings.HasPrefix(e.Name, SpanStagePrefix) {
+				continue
+			}
+			r := ensureRun()
+			name := e.Name[len(SpanStagePrefix):]
+			key := fmt.Sprintf("%d/%s", r.Run, name)
+			i, ok := phaseIdx[key]
+			if !ok {
+				i = len(s.Phases)
+				phaseIdx[key] = i
+				s.Phases = append(s.Phases, PhaseSummary{
+					Run: r.Run, Name: name,
+					FirstRound: e.Round, LastRound: e.Round,
+					Budget: e.Value,
+				})
+			}
+			p := &s.Phases[i]
+			p.Entries++
+			if e.Round < p.FirstRound {
+				p.FirstRound = e.Round
+			}
+			if e.Round > p.LastRound {
+				p.LastRound = e.Round
+			}
+			if p.Budget == 0 && e.Value > 0 {
+				p.Budget = e.Value
+			}
+		case EvEta:
+			// η snapshots may precede run-start (input η from the wrapper);
+			// attribute those to the upcoming run without materializing it.
+			ri := run
+			if ri < 0 {
+				ri = len(s.Runs)
+			}
+			s.Etas = append(s.Etas, EtaPoint{Run: ri, Name: e.Name, Value: e.Value, Text: e.Text})
+		case EvPhase:
+			s.Marks = append(s.Marks, e.Name)
+		}
+	}
+	return s
+}
+
+// WriteText renders the summary for terminal consumption, including
+// per-phase budget verdicts against declared round budgets.
+func (s Summary) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	if s.Meta != "" {
+		bw.printf("trace: %s", s.Meta)
+		if s.MetaText != "" {
+			bw.printf("  (%s)", s.MetaText)
+		}
+		bw.printf("\n")
+	}
+	bw.printf("events: %d\n", s.Events)
+	for _, r := range s.Runs {
+		bw.printf("run %d: n=%d m=%d rounds=%d messages=%d bits=%d",
+			r.Run, r.N, r.M, r.Rounds, r.Messages, r.Bits)
+		if r.Dropped > 0 || r.Corrupted > 0 || r.Duplicated > 0 {
+			bw.printf(" dropped=%d(%d bits) corrupted=%d duplicated=%d",
+				r.Dropped, r.DroppedBits, r.Corrupted, r.Duplicated)
+		}
+		if r.Crashes > 0 {
+			bw.printf(" crashes=%d", r.Crashes)
+		}
+		if r.Outputs > 0 {
+			bw.printf(" outputs=%d", r.Outputs)
+		}
+		if r.Err != "" {
+			bw.printf(" error=%q", r.Err)
+		}
+		bw.printf("\n")
+	}
+	if len(s.Phases) > 0 {
+		bw.printf("phases:\n")
+		bw.printf("  %-4s %-24s %-12s %-8s %-8s %s\n", "run", "name", "rounds", "span", "budget", "verdict")
+		for _, p := range s.Phases {
+			span := fmt.Sprintf("%d-%d", p.FirstRound, p.LastRound)
+			budget := "-"
+			verdict := "-"
+			if p.Budget > 0 {
+				budget = fmt.Sprintf("%d", p.Budget)
+				if p.OverBudget() {
+					verdict = fmt.Sprintf("OVER (+%d)", int64(p.Rounds())-p.Budget)
+				} else {
+					verdict = "within"
+				}
+			}
+			bw.printf("  %-4d %-24s %-12d %-8s %-8s %s\n", p.Run, p.Name, p.Rounds(), span, budget, verdict)
+		}
+	}
+	if len(s.Faults) > 0 {
+		bw.printf("faults:\n")
+		for _, f := range s.Faults {
+			bw.printf("  run %d round %-5d %-10s x%d\n", f.Run, f.Round, f.Kind, f.Count)
+		}
+	}
+	if len(s.Etas) > 0 {
+		bw.printf("eta trajectory:\n")
+		for _, p := range s.Etas {
+			bw.printf("  run %d %-12s %-8d %s\n", p.Run, p.Name, p.Value, p.Text)
+		}
+	}
+	if len(s.Marks) > 0 {
+		bw.printf("marks: %s\n", strings.Join(s.Marks, " -> "))
+	}
+	return bw.err
+}
+
+// errWriter collapses repeated Fprintf error handling.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Aggregate folds an event stream into a fresh metrics Registry. Counter
+// names follow Prometheus conventions; fault counters carry a kind label.
+func Aggregate(events []Event) *Registry {
+	reg := NewRegistry()
+	for _, e := range events {
+		switch e.Type {
+		case EvRunStart:
+			reg.Counter("dgp_runs_total").Inc()
+			reg.Gauge("dgp_nodes").Set(float64(e.Value))
+			reg.Gauge("dgp_edges").Set(float64(e.Aux))
+		case EvRunEnd:
+			reg.Counter("dgp_rounds_total").Add(e.Value)
+			if e.Err != "" {
+				reg.Counter("dgp_run_errors_total").Inc()
+			}
+		case EvRoundEnd:
+			reg.Counter("dgp_messages_delivered_total").Add(e.Value)
+			reg.Counter("dgp_bits_delivered_total").Add(e.Aux)
+			if e.DurNS > 0 {
+				reg.Histogram("dgp_round_seconds", DefaultDurationBuckets).
+					Observe(float64(e.DurNS) / 1e9)
+			}
+		case EvFault:
+			reg.Counter("dgp_faults_total{kind=\"" + e.Name + "\"}").Inc()
+			if e.Name == "drop" {
+				reg.Counter("dgp_bits_dropped_total").Add(e.Value)
+			}
+		case EvCrash:
+			reg.Counter("dgp_crashes_total").Inc()
+		case EvOutput:
+			reg.Counter("dgp_outputs_total").Inc()
+		case EvDeadline:
+			reg.Counter("dgp_deadlines_total").Inc()
+		case EvCarve:
+			reg.Gauge("dgp_heal_residual").Set(float64(e.Value))
+			reg.Gauge("dgp_heal_demoted").Set(float64(e.Aux))
+		case EvEta:
+			reg.Gauge("dgp_eta{phase=\"" + e.Name + "\"}").Set(float64(e.Value))
+		}
+	}
+	return reg
+}

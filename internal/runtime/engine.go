@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Config describes one execution of a distributed algorithm.
@@ -58,6 +59,12 @@ type Config struct {
 	// engine's instrumentation record for that round (wall time, deliveries,
 	// payload bits). Purely observational: it never affects semantics.
 	Stats func(RoundStats)
+	// Trace, when non-nil, receives the run's typed event stream (see
+	// internal/obs for the taxonomy). All events are emitted from the
+	// engine's main goroutine in an order identical across both engine
+	// modes; only wall-clock durations differ. Purely observational. When
+	// nil the instrumented paths reduce to a nil check.
+	Trace *obs.Recorder
 }
 
 // RoundStats is the engine's per-round instrumentation record, reported
@@ -75,6 +82,20 @@ type RoundStats struct {
 	Bits int
 	// Active is the number of nodes that participated in this round.
 	Active int
+	// Dropped counts messages the adversary dropped this round, and
+	// DroppedBits their sized payload bits. Dropped traffic is reported
+	// here, never in Messages/Bits: delivered and injected/denied traffic
+	// are separate ledgers, so chaos runs don't inflate bandwidth numbers.
+	Dropped     int
+	DroppedBits int
+	// Injected counts extra duplicate copies the adversary injected this
+	// round (the copies beyond the first), and InjectedBits their sized
+	// bits. The copies are real deliveries, so they also appear in
+	// Messages/Bits; these fields isolate the adversary's share.
+	Injected     int
+	InjectedBits int
+	// Corrupted counts deliveries whose payload the adversary replaced.
+	Corrupted int
 }
 
 // Result reports the outcome of a run.
@@ -96,6 +117,15 @@ type Result struct {
 	// BitSized (the run is LOCAL-only) or the run delivered no messages at
 	// all, so no bandwidth claim can be made either way.
 	MaxMsgBits int
+	// Dropped/DroppedBits total the adversary-dropped messages and their
+	// sized bits; dropped traffic never counts toward Messages. Injected
+	// totals the extra duplicate copies (which, being real deliveries, do
+	// count toward Messages as well); Corrupted totals corrupted
+	// deliveries. See the matching RoundStats fields.
+	Dropped     int
+	DroppedBits int
+	Injected    int
+	Corrupted   int
 }
 
 // ErrNoTermination is returned when MaxRounds elapses with active nodes.
@@ -196,40 +226,69 @@ func Run(cfg Config) (*Result, error) {
 		Outputs:      make([]any, n),
 		TerminatedAt: make([]int, n),
 	}
+	if st.trace != nil {
+		st.trace.Emit(obs.Event{Type: obs.EvRunStart, Value: int64(n), Aux: int64(g.M())})
+	}
 
+	timed := cfg.Stats != nil || st.trace != nil
 	for round := 1; st.activeCount > 0; round++ {
 		if round > maxRounds {
-			return nil, fmt.Errorf("%w (round %d, %d nodes active)", ErrNoTermination, maxRounds, st.activeCount)
+			err := fmt.Errorf("%w (round %d, %d nodes active)", ErrNoTermination, maxRounds, st.activeCount)
+			// The round that overran never began; close the run after the
+			// last round that did execute.
+			st.traceRunEnd(maxRounds, res, err)
+			return nil, err
 		}
 		var start time.Time
-		if cfg.Stats != nil {
-			//lint:allow seededrand (RoundStats.Duration is observational wall-clock instrumentation; it never feeds back into scheduling or algorithm state)
-			start = time.Now()
+		if timed {
+			// Observational wall-clock only (RoundStats.Duration, trace
+			// DurNS); the obs funnel is exempted package-wide by the
+			// seededrand analyzer and never feeds back into semantics.
+			start = obs.Now()
 		}
 		st.beginRound(round)
 		activeThisRound := st.activeCount
 		if err := st.phase(st.sendFn, round, "send"); err != nil {
+			st.traceAbort(round, res, err, "send", false)
 			return nil, err
 		}
 		if err := st.firstError(); err != nil {
+			st.traceAbort(round, res, err, "send", true)
 			return nil, err
 		}
 		st.route(round, res)
 		if err := st.phase(st.receiveFn, round, "receive"); err != nil {
+			st.traceAbort(round, res, err, "receive", false)
 			return nil, err
 		}
 		if err := st.firstError(); err != nil {
+			st.traceAbort(round, res, err, "receive", true)
 			return nil, err
 		}
 		st.endRound(round, res)
+		var dur time.Duration
+		if timed {
+			dur = obs.Since(start)
+		}
+		if st.trace != nil {
+			st.trace.Emit(obs.Event{
+				Type: obs.EvRoundEnd, Round: round,
+				Value: int64(st.roundMsgs), Aux: int64(st.roundBits),
+				DurNS: dur.Nanoseconds(),
+			})
+		}
 		if cfg.Stats != nil {
 			cfg.Stats(RoundStats{
-				Round: round,
-				//lint:allow seededrand (observational timing for RoundStats only; no semantic effect)
-				Duration: time.Since(start),
-				Messages: st.roundMsgs,
-				Bits:     st.roundBits,
-				Active:   activeThisRound,
+				Round:        round,
+				Duration:     dur,
+				Messages:     st.roundMsgs,
+				Bits:         st.roundBits,
+				Active:       activeThisRound,
+				Dropped:      st.roundDropped,
+				DroppedBits:  st.roundDroppedBits,
+				Injected:     st.roundInjected,
+				InjectedBits: st.roundInjectedBits,
+				Corrupted:    st.roundCorrupted,
 			})
 		}
 		if cfg.Observer != nil {
@@ -240,7 +299,41 @@ func Run(cfg Config) (*Result, error) {
 	if st.localOnly {
 		res.MaxMsgBits = -1
 	}
+	st.traceRunEnd(res.Rounds, res, nil)
 	return res, nil
+}
+
+// traceRunEnd emits the terminal run-end event (no-op without a recorder).
+func (st *state) traceRunEnd(lastRound int, res *Result, err error) {
+	if st.trace == nil {
+		return
+	}
+	e := obs.Event{Type: obs.EvRunEnd, Value: int64(lastRound), Aux: int64(res.Messages)}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	st.trace.Emit(e)
+}
+
+// traceAbort closes the trace of a run aborting inside round `round`: the
+// terminal round event carries the error, preceded by a deadline marker
+// when the watchdog fired, then the run-end event. drain controls whether
+// staged machine annotations are flushed first: phases that completed
+// (protocol/panic aborts, detected after the barrier) drain; a deadline
+// abort abandons the phase goroutine mid-flight, so the staging buffers may
+// still be written to and must not be touched.
+func (st *state) traceAbort(round int, res *Result, err error, phase string, drain bool) {
+	if st.trace == nil {
+		return
+	}
+	if drain {
+		st.drainNotes(round)
+	}
+	if errors.Is(err, ErrRoundDeadline) {
+		st.trace.Emit(obs.Event{Type: obs.EvDeadline, Round: round, Name: phase})
+	}
+	st.trace.Emit(obs.Event{Type: obs.EvRoundEnd, Round: round, Err: err.Error()})
+	st.traceRunEnd(round, res, err)
 }
 
 // validCrashes checks a crash schedule: node indices in [0, n), rounds >= 1.
@@ -309,9 +402,17 @@ type state struct {
 	// payload seen (-1 before any), and whether an unsized payload was seen.
 	maxMsgBits int
 	localOnly  bool
-	// roundMsgs/roundBits accumulate the current round's Stats record.
-	roundMsgs int
-	roundBits int
+	// roundMsgs/roundBits accumulate the current round's Stats record;
+	// the round* adversary counters feed the delivered-vs-injected split.
+	roundMsgs         int
+	roundBits         int
+	roundDropped      int
+	roundDroppedBits  int
+	roundInjected     int
+	roundInjectedBits int
+	roundCorrupted    int
+	// trace is the attached event recorder (nil = tracing disabled).
+	trace *obs.Recorder
 
 	observedOutputs []any
 	observedActive  []bool
@@ -337,6 +438,7 @@ func newState(cfg Config, g *graph.Graph, n int, crashes map[int]int) *state {
 		maxMsgBits:         -1,
 		observedOutputs:    make([]any, n),
 		observedActive:     make([]bool, n),
+		trace:              cfg.Trace,
 	}
 	st.sendFn = st.sendPhase
 	st.receiveFn = st.receivePhase
@@ -370,7 +472,7 @@ func newState(cfg Config, g *graph.Graph, n int, crashes map[int]int) *state {
 		if cfg.Predictions != nil {
 			pred = cfg.Predictions[i]
 		}
-		st.envs[i] = &Env{info: info}
+		st.envs[i] = &Env{info: info, tracing: cfg.Trace != nil}
 		st.mach[i] = cfg.Factory(info, pred)
 		st.nbIDs[i] = nbIDs
 		st.nbIdx[i] = idxs
@@ -385,11 +487,17 @@ func newState(cfg Config, g *graph.Graph, n int, crashes map[int]int) *state {
 }
 
 func (st *state) beginRound(round int) {
+	if st.trace != nil {
+		st.trace.Emit(obs.Event{Type: obs.EvRoundStart, Round: round, Value: int64(st.activeCount)})
+	}
 	for i := 0; i < st.n; i++ {
 		if st.active[i] && st.crashedAt[i] != 0 && round >= st.crashedAt[i] {
 			// Crash takes effect: the node silently leaves the computation.
 			st.active[i] = false
 			st.activeCount--
+			if st.trace != nil {
+				st.trace.Emit(obs.Event{Type: obs.EvCrash, Round: round, Node: st.envs[i].info.ID})
+			}
 		}
 		if st.active[i] {
 			st.envs[i].round = round
@@ -506,7 +614,11 @@ func (st *state) receivePhase(i int) {
 // sequence regardless of Config.Parallel.
 func (st *state) route(round int, res *Result) {
 	st.roundMsgs, st.roundBits = 0, 0
+	st.roundDropped, st.roundDroppedBits = 0, 0
+	st.roundInjected, st.roundInjectedBits = 0, 0
+	st.roundCorrupted = 0
 	adv := st.cfg.Adversary
+	tr := st.trace
 	for _, si := range st.senderOrder {
 		i := int(si)
 		if !st.active[i] {
@@ -514,6 +626,7 @@ func (st *state) route(round int, res *Result) {
 		}
 		from := st.envs[i].info.ID
 		dsts := st.destIdx[i]
+		batchMsgs, batchBits := 0, 0
 		for k, out := range st.outboxes[i] {
 			j := int(dsts[k])
 			// Messages to nodes that already left the computation vanish; a
@@ -527,41 +640,76 @@ func (st *state) route(round int, res *Result) {
 			payload := out.Payload
 			copies := 1
 			if adv != nil {
-				fate := adv.Intercept(round, from, st.envs[j].info.ID, payload)
+				to := st.envs[j].info.ID
+				fate := adv.Intercept(round, from, to, payload)
 				if fate.Drop {
+					// Dropped traffic goes on its own ledger, never into
+					// Messages/Bits: the bandwidth numbers stay delivery-only.
+					db := 0
+					if bs, ok := payload.(BitSized); ok && bs.Bits() > 0 {
+						db = bs.Bits()
+					}
+					st.roundDropped++
+					st.roundDroppedBits += db
+					res.Dropped++
+					res.DroppedBits += db
+					if tr != nil {
+						tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "drop", Value: int64(db), Aux: int64(to)})
+					}
 					continue
 				}
 				if fate.Payload != nil {
 					payload = fate.Payload
+					st.roundCorrupted++
+					res.Corrupted++
+					if tr != nil {
+						tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "corrupt", Aux: int64(to)})
+					}
 				}
 				if fate.Extra > 0 {
 					copies += fate.Extra
+					st.roundInjected += fate.Extra
+					res.Injected += fate.Extra
+					if tr != nil {
+						tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "duplicate", Value: int64(fate.Extra), Aux: int64(to)})
+					}
 				}
 			}
 			b := -1
 			if bs, ok := payload.(BitSized); ok {
 				b = bs.Bits()
 			}
+			if b > 0 && copies > 1 {
+				st.roundInjectedBits += (copies - 1) * b
+			}
 			for c := 0; c < copies; c++ {
 				st.inboxes[j] = append(st.inboxes[j], Msg{From: from, Payload: payload})
 				res.Messages++
 				st.roundMsgs++
+				batchMsgs++
 				if b < 0 {
 					// An unsized (or wrapper-of-unsized) payload makes the run
 					// LOCAL-only.
 					st.localOnly = true
 				} else {
 					st.roundBits += b
+					batchBits += b
 					if b > st.maxMsgBits {
 						st.maxMsgBits = b
 					}
 				}
 			}
 		}
+		if tr != nil && batchMsgs > 0 {
+			tr.Emit(obs.Event{Type: obs.EvBatch, Round: round, Node: from, Value: int64(batchMsgs), Aux: int64(batchBits)})
+		}
 	}
 }
 
 func (st *state) endRound(round int, res *Result) {
+	if st.trace != nil {
+		st.drainNotes(round)
+	}
 	for i := 0; i < st.n; i++ {
 		if st.active[i] && st.envs[i].terminated {
 			st.active[i] = false
@@ -569,12 +717,46 @@ func (st *state) endRound(round int, res *Result) {
 			res.Outputs[i] = st.envs[i].output
 			res.TerminatedAt[i] = round
 			res.Rounds = round
+			if st.trace != nil {
+				st.trace.Emit(outputEvent(round, st.envs[i]))
+			}
 		}
 		st.observedOutputs[i] = st.envs[i].output
 		if !st.envs[i].hasOutput {
 			st.observedOutputs[i] = nil
 		}
 		st.observedActive[i] = st.active[i]
+	}
+}
+
+// outputEvent builds the decision-commit event for a node terminating this
+// round: integer outputs ride in Value, anything else is named by type.
+func outputEvent(round int, e *Env) obs.Event {
+	ev := obs.Event{Type: obs.EvOutput, Round: round, Node: e.info.ID}
+	switch v := e.output.(type) {
+	case int:
+		ev.Value = int64(v)
+	case bool:
+		if v {
+			ev.Value = 1
+		}
+	default:
+		ev.Text = fmt.Sprintf("%T", e.output)
+	}
+	return ev
+}
+
+// drainNotes flushes the machines' staged annotations as span events, in
+// node-index order. It runs on the main goroutine strictly after a phase
+// barrier, which is what makes worker-goroutine staging race-free and the
+// emission order identical across engine modes.
+func (st *state) drainNotes(round int) {
+	for i := 0; i < st.n; i++ {
+		e := st.envs[i]
+		for _, nt := range e.notes {
+			st.trace.Emit(obs.Event{Type: obs.EvSpan, Round: round, Node: e.info.ID, Name: nt.Name, Value: nt.Value})
+		}
+		e.notes = e.notes[:0]
 	}
 }
 

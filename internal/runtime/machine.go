@@ -91,6 +91,14 @@ type Machine interface {
 // its prediction (nil when the algorithm takes no predictions).
 type Factory func(info NodeInfo, prediction any) Machine
 
+// Note is one machine-emitted trace annotation staged via Env.Annotate:
+// a name (by convention prefixed, e.g. "stage:" for template stages) and a
+// numeric value (budget metadata, lane index, ...).
+type Note struct {
+	Name  string
+	Value int64
+}
+
 // Env is the per-node environment handed to Machine methods. It exposes the
 // node's static information, the current round, and output/termination.
 type Env struct {
@@ -100,6 +108,13 @@ type Env struct {
 	hasOutput  bool
 	terminated bool
 	err        error
+	// tracing mirrors "a trace recorder is attached"; notes stages this
+	// node's annotations for the round. Machine code may append via
+	// Annotate from a pool worker goroutine — each Env is owned by exactly
+	// one worker per phase — and the engine drains the buffer on the main
+	// goroutine after the phase barrier, in node-index order.
+	tracing bool
+	notes   []Note
 }
 
 // Info returns the node's static information.
@@ -146,6 +161,22 @@ func (e *Env) Terminated() bool { return e.terminated }
 // first recorded error. Composed machines use this to report violations such
 // as lockstep breaks or running past the final stage.
 func (e *Env) Fail(err error) { e.fail(err) }
+
+// Tracing reports whether a trace recorder is attached to the run. Callers
+// that build annotation strings should guard on it so the disabled-tracing
+// path stays allocation-free.
+func (e *Env) Tracing() bool { return e.tracing }
+
+// Annotate stages a trace annotation for this node; the engine emits it as
+// a span event at the end of the round (or discards it when tracing is
+// off). Safe to call from Send/Receive in both engine modes; annotations
+// surface in deterministic node-index order regardless of Config.Parallel.
+func (e *Env) Annotate(name string, value int64) {
+	if !e.tracing {
+		return
+	}
+	e.notes = append(e.notes, Note{Name: name, Value: value})
+}
 
 func (e *Env) fail(err error) {
 	if e.err == nil {

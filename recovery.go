@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/heal"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -87,6 +88,12 @@ func runRecovered(g *Graph, factory runtime.Factory, preds []any, opts Options, 
 	report, err := heal.RunRecovered(cfg, spec)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Trace != nil && !report.Valid {
+		// η trajectory: the carve left Residual undecided nodes; after the
+		// verified healing run the error measure is back to zero.
+		opts.Trace.Emit(obs.Event{Type: obs.EvEta, Name: "residual", Value: int64(report.Residual)})
+		opts.Trace.Emit(obs.Event{Type: obs.EvEta, Name: "healed", Value: 0})
 	}
 	return &RecoveryResult{
 		PrimaryErr:       report.PrimaryErr,

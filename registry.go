@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/heal"
+	"repro/internal/obs"
 	"repro/internal/problem"
 
 	// Each problem package registers its descriptor in init(); import them
@@ -212,6 +213,7 @@ func runGeneric(g *Graph, d *problem.Descriptor, alg string, aux any, preds any,
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
+	traceRunMeta(d, alg, g, aux, preds, opts)
 	if opts.Recover {
 		spec, err := healSpecFor(d)
 		if err != nil {
@@ -237,6 +239,23 @@ func runGeneric(g *Graph, d *problem.Descriptor, alg string, aux any, preds any,
 		EdgeOutput: sol.Edge,
 		vectors:    sol.Vectors,
 	}, nil
+}
+
+// traceRunMeta labels a traced run with its (problem, algorithm) pair and the
+// input prediction-error summary, so a trace file is self-describing: the
+// dgp-trace CLI surfaces the meta line as the run header and the η snapshot in
+// the trajectory table. No-op without a recorder.
+func traceRunMeta(d *problem.Descriptor, alg string, g *Graph, aux any, preds any, opts Options) {
+	if opts.Trace == nil {
+		return
+	}
+	opts.Trace.Emit(obs.Event{Type: obs.EvMeta, Name: d.Name + "/" + alg})
+	if preds == nil {
+		return
+	}
+	if summary, err := d.Errors(g, aux, preds); err == nil {
+		opts.Trace.Emit(obs.Event{Type: obs.EvEta, Name: "input", Text: summary})
+	}
 }
 
 // healSpecFor assembles the engine-level healing spec from a descriptor's
@@ -306,6 +325,7 @@ func RunProblemWithRecovery(g *Graph, problemName string, preds any, opts Option
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
+	traceRunMeta(d, "simple", g, aux, preds, opts)
 	return runRecovered(g, factory, encoded, opts, spec)
 }
 

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/runtime"
 	"repro/internal/runtime/fault"
@@ -176,7 +177,25 @@ type Options struct {
 	// machinery to extend it (see RunWithRecovery for the detailed report).
 	// Supported for MIS (including trees), matching, and vertex coloring.
 	Recover bool
+	// Trace, when non-nil, records the run's typed event stream: rounds,
+	// message batches, faults, template-stage spans, heal phases, and η
+	// snapshots. The stream is deterministic across engine modes (only
+	// wall-clock durations differ); export it with the obs helpers or the
+	// dgp-trace CLI. Tracing disabled (nil) costs a pointer check.
+	Trace *TraceRecorder
 }
+
+// Trace types re-exported for library users.
+type (
+	// TraceRecorder is the ring-buffered trace event recorder.
+	TraceRecorder = obs.Recorder
+	// TraceEvent is one typed trace record.
+	TraceEvent = obs.Event
+)
+
+// NewTraceRecorder returns a recorder holding at most capacity events
+// (capacity <= 0 selects the default, 65536). Attach it via Options.Trace.
+func NewTraceRecorder(capacity int) *TraceRecorder { return obs.NewRecorder(capacity) }
 
 // Engine and chaos types re-exported for library users.
 type (
@@ -252,6 +271,7 @@ func buildConfig(g *Graph, factory runtime.Factory, preds []any, opts Options) r
 		Stats:          opts.OnRoundStats,
 		Adversary:      opts.Adversary,
 		RoundDeadline:  opts.RoundDeadline,
+		Trace:          opts.Trace,
 	}
 }
 

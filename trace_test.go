@@ -1,0 +1,145 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// traceProblem runs one (problem, algorithm) configuration with a fresh
+// recorder on the chosen engine and returns the recorded events.
+func traceProblem(t *testing.T, problem, alg string, parallel, heal bool, seed int64) []repro.TraceEvent {
+	t.Helper()
+	g := repro.GNP(80, 0.08, repro.NewRand(seed))
+	preds, err := repro.GeneratePreds(problem, g, 10, seed+1)
+	if err != nil {
+		t.Fatalf("GeneratePreds(%s): %v", problem, err)
+	}
+	rec := repro.NewTraceRecorder(0)
+	opts := repro.Options{
+		Parallel:  parallel,
+		Seed:      seed,
+		Trace:     rec,
+		Recover:   heal,
+		MaxRounds: 80,
+	}
+	if heal {
+		opts.Adversary = repro.NewChaos(repro.ChaosPolicy{
+			Seed:      seed + 2,
+			Drop:      0.3,
+			Duplicate: 0.15,
+			Crash:     0.1,
+		})
+	}
+	if _, err := repro.RunProblem(g, problem, alg, preds, opts); err != nil {
+		t.Fatalf("RunProblem(%s/%s, parallel=%v): %v", problem, alg, parallel, err)
+	}
+	return rec.Events()
+}
+
+// TestTracePublicParity pins the determinism contract at the public API: for
+// a fixed seed the sequential and worker-pool engines record identical event
+// streams (durations excepted) — clean template runs and a chaotic
+// self-healing run alike.
+func TestTracePublicParity(t *testing.T) {
+	cases := []struct {
+		name         string
+		problem, alg string
+		heal         bool
+	}{
+		{"mis-simple", "mis", "simple", false},
+		{"mis-parallel-template", "mis", "parallel", false},
+		{"vcolor-simple", "vcolor", "simple", false},
+		{"mis-heal-chaos", "mis", "simple", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := traceProblem(t, tc.problem, tc.alg, false, tc.heal, 11)
+			pool := traceProblem(t, tc.problem, tc.alg, true, tc.heal, 11)
+			if len(seq) == 0 {
+				t.Fatal("sequential run recorded no events")
+			}
+			if i, desc, ok := obs.Diff(obs.Canonical(seq), obs.Canonical(pool)); !ok {
+				t.Fatalf("engine traces diverge at event %d: %s", i, desc)
+			}
+			if tc.heal {
+				sum := obs.Summarize(seq)
+				if len(sum.Runs) < 2 {
+					t.Fatalf("heal trace holds %d runs, want primary + recovery", len(sum.Runs))
+				}
+				if len(sum.Marks) == 0 {
+					t.Fatal("heal trace carries no phase marks")
+				}
+			}
+		})
+	}
+}
+
+// TestTraceSummarizeBounds checks that summarizing a traced run reproduces
+// the paper's stage round bounds: the Simple Template's initialization
+// stages declare their budgets (3 rounds for MIS, 2 for vertex coloring) and
+// the observed spans stay within them.
+func TestTraceSummarizeBounds(t *testing.T) {
+	wantInit := map[string]struct {
+		stage  string
+		budget int64
+	}{
+		"mis":    {"mis/init", 3},
+		"vcolor": {"vcolor/init", 2},
+	}
+	for problem, want := range wantInit {
+		events := traceProblem(t, problem, "simple", false, false, 29)
+		sum := obs.Summarize(events)
+		var found *obs.PhaseSummary
+		for i := range sum.Phases {
+			if sum.Phases[i].Name == want.stage {
+				found = &sum.Phases[i]
+				break
+			}
+		}
+		if found == nil {
+			t.Fatalf("%s: stage %q missing from summary phases %+v", problem, want.stage, sum.Phases)
+		}
+		if found.Budget != want.budget {
+			t.Errorf("%s: stage %q budget = %d, want %d", problem, want.stage, found.Budget, want.budget)
+		}
+		if found.OverBudget() {
+			t.Errorf("%s: stage %q ran %d rounds, over its declared budget %d",
+				problem, want.stage, found.Rounds(), found.Budget)
+		}
+		if found.Entries == 0 {
+			t.Errorf("%s: stage %q recorded no node-rounds", problem, want.stage)
+		}
+		if sum.Meta != problem+"/simple" {
+			t.Errorf("%s: trace meta = %q, want %q", problem, sum.Meta, problem+"/simple")
+		}
+	}
+}
+
+// TestTraceEtaTrajectory checks the η trajectory of a healed run at the
+// public API: an input snapshot, the carved residual, and the terminal
+// healed-to-zero point, in that order.
+func TestTraceEtaTrajectory(t *testing.T) {
+	events := traceProblem(t, "mis", "simple", false, true, 13)
+	sum := obs.Summarize(events)
+	if sum.Runs[0].Err == "" && len(sum.Runs) == 1 {
+		t.Skip("chaos did not damage the run; no trajectory to check")
+	}
+	var names []string
+	for _, e := range sum.Etas {
+		names = append(names, e.Name)
+	}
+	want := []string{"input", "residual", "healed"}
+	if len(names) != len(want) {
+		t.Fatalf("eta trajectory = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("eta trajectory = %v, want %v", names, want)
+		}
+	}
+	if last := sum.Etas[len(sum.Etas)-1]; last.Value != 0 {
+		t.Errorf("healed η = %d, want 0", last.Value)
+	}
+}
