@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt vet fuzz-smoke list trace-golden alloc-guard all
+.PHONY: build test race lint fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke all
 
 all: build lint test
 
@@ -40,9 +40,17 @@ trace-golden:
 	/tmp/dgp-trace diff /tmp/seq.jsonl /tmp/pool.jsonl
 
 # Disabled tracing must stay near-zero-cost: the steady-state allocation
-# budget test fails if the per-round allocation count regresses.
+# budget test fails if the per-round allocation count regresses (0
+# allocs/round on every engine mode since the columnar rewrite).
 alloc-guard:
 	$(GO) test -run 'TestSteadyStateAllocBudget' -count=1 -v ./internal/runtime/
+
+# The 100k-node scale sweep on both engines — a fast end-to-end smoke of
+# the columnar hot path (CSR build, arena inboxes, frontier compaction).
+# EXPERIMENTS.md's scale table holds the full 1M/10M numbers.
+bench-smoke:
+	$(GO) run ./cmd/dgp-bench -nodes 100000
+	$(GO) run ./cmd/dgp-bench -nodes 100000 -par
 
 # Brief coverage-guided runs of the committed fuzz targets; the seed corpora
 # under testdata/fuzz always run as part of `make test`.

@@ -42,8 +42,9 @@ func run() error {
 	list := flag.Bool("list", false, "list experiments")
 	engineStats := flag.Bool("enginestats", false, "print per-round engine stats (Config.Stats) for a greedy-MIS ring run")
 	chaos := flag.Bool("chaos", false, "run the fault-rate × η degradation sweep (self-healing runs)")
+	nodes := flag.String("nodes", "", "run the engine scale sweep at these comma-separated node counts (e.g. 100000,1000000,10000000)")
 	n := flag.Int("n", 4096, "ring size for -enginestats")
-	par := flag.Bool("par", false, "use the worker-pool engine for -enginestats")
+	par := flag.Bool("par", false, "use the worker-pool engine for -enginestats and -nodes")
 	metrics := flag.String("metrics", "", "with -enginestats or -chaos: write aggregated run metrics to this file ('-' = stdout; a .json suffix selects JSON, otherwise Prometheus text)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -92,6 +93,9 @@ func run() error {
 			return err
 		}
 		return writeMetrics(rec, *metrics)
+	}
+	if *nodes != "" {
+		return runScaleSweep(*nodes, *par)
 	}
 	if *chaos {
 		if err := runChaosSweep(rec); err != nil {

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	gort "runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// The scale sweep (-nodes) measures the engine hot path on million-node
+// graphs: a flood workload (every node broadcasts one 8-bit payload to all
+// neighbors for a fixed number of rounds, then outputs how many messages it
+// heard) on a ring and a Barabási–Albert graph at each requested size. The
+// workload machines are slab-allocated and allocation-free per round, so
+// allocs/round and ns/round measure the engine itself — the numbers the
+// columnar-engine acceptance table in EXPERIMENTS.md tracks.
+
+const (
+	scaleRounds      = 16
+	scaleBAEdgeParam = 3
+)
+
+// floodMachine broadcasts a fixed payload for scaleRounds rounds and then
+// terminates with the number of messages heard. Machines live in one slab
+// and the outbox is engine-owned (Env.Broadcast), so a run's machine-side
+// allocations are O(1), not O(n).
+type floodMachine struct {
+	heard int
+}
+
+type floodPayload struct{}
+
+func (floodPayload) Bits() int { return 8 }
+
+func (m *floodMachine) Send(env *runtime.Env) []runtime.Out {
+	if env.Round() > scaleRounds {
+		env.Output(m.heard)
+		env.Terminate()
+		return nil
+	}
+	env.Broadcast(floodPayload{})
+	return nil
+}
+
+func (m *floodMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {
+	m.heard += len(inbox)
+}
+
+func floodFactory(n int) runtime.Factory {
+	slab := make([]floodMachine, n)
+	return func(info runtime.NodeInfo, pred any) runtime.Machine {
+		return &slab[info.Index]
+	}
+}
+
+// parseSizes parses the -nodes flag: a comma-separated list of node counts.
+func parseSizes(spec string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 3 {
+			return nil, fmt.Errorf("-nodes %q: %q is not a node count >= 3", spec, part)
+		}
+		sizes = append(sizes, v)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-nodes %q: no sizes", spec)
+	}
+	return sizes, nil
+}
+
+// runScaleSweep renders the scale table: one row per (graph family, n).
+func runScaleSweep(spec string, parallel bool) error {
+	sizes, err := parseSizes(spec)
+	if err != nil {
+		return err
+	}
+	t := &bench.Table{
+		ID:      "SCALE",
+		Title:   fmt.Sprintf("engine scale sweep: flood workload, %d message rounds, parallel=%v", scaleRounds, parallel),
+		Columns: []string{"graph", "n", "m", "build", "rounds", "wall/round", "msgs/round", "allocs/round", "run wall"},
+	}
+	for _, n := range sizes {
+		for _, fam := range []struct {
+			name  string
+			build func(n int) *graph.Graph
+		}{
+			{"ring", graph.Ring},
+			{"ba", func(n int) *graph.Graph {
+				return graph.BarabasiAlbert(n, scaleBAEdgeParam, rand.New(rand.NewSource(7)))
+			}},
+		} {
+			buildStart := time.Now()
+			g := fam.build(n)
+			buildDur := time.Since(buildStart)
+			res, wall, allocs, err := measureRun(g, parallel)
+			if err != nil {
+				return err
+			}
+			rounds := res.Rounds
+			if rounds == 0 {
+				rounds = 1
+			}
+			t.AddRow(
+				fam.name, n, g.M(),
+				roundDur(buildDur),
+				res.Rounds,
+				roundDur(wall/time.Duration(rounds)),
+				res.Messages/rounds,
+				fmt.Sprintf("%.1f", float64(allocs)/float64(rounds)),
+				roundDur(wall),
+			)
+		}
+	}
+	t.Note("allocs/round = total Run mallocs (setup included) / rounds; flood machines are slab-allocated so the numbers isolate the engine")
+	t.Render(os.Stdout)
+	return nil
+}
+
+// measureRun executes the flood workload once and reports the result, wall
+// time, and the number of heap allocations attributable to the run.
+func measureRun(g *graph.Graph, parallel bool) (*runtime.Result, time.Duration, uint64, error) {
+	factory := floodFactory(g.N())
+	gort.GC()
+	var before, after gort.MemStats
+	gort.ReadMemStats(&before)
+	start := time.Now()
+	res, err := runtime.Run(runtime.Config{
+		Graph:     g,
+		Factory:   factory,
+		Parallel:  parallel,
+		MaxRounds: scaleRounds + 8,
+	})
+	wall := time.Since(start)
+	gort.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, wall, after.Mallocs - before.Mallocs, nil
+}
+
+// roundDur trims a duration to three significant units for table display.
+func roundDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}

@@ -1,0 +1,90 @@
+package graph_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestFromEdgesMatchesBuilder pins the contract of the flat-array
+// constructor: for any edge multiset (unsorted, unnormalized, with
+// duplicates), FromEdges produces a graph identical to feeding the same
+// edges through the Builder.
+func TestFromEdgesMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		var edges [][2]int
+		for e := 0; e < rng.Intn(4*n); e++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			b.AddEdge(u, v)
+			if rng.Intn(3) == 0 {
+				u, v = v, u // leave some edges reversed for FromEdges to normalize
+			}
+			edges = append(edges, [2]int{u, v})
+			if rng.Intn(4) == 0 {
+				edges = append(edges, [2]int{u, v}) // and some duplicated
+			}
+		}
+		want := b.MustBuild()
+		got, err := graph.FromEdges(n, nil, 0, edges)
+		if err != nil {
+			t.Fatalf("trial %d: FromEdges: %v", trial, err)
+		}
+		if got.N() != want.N() || got.M() != want.M() || got.D() != want.D() {
+			t.Fatalf("trial %d: shape mismatch: got (n=%d m=%d d=%d) want (n=%d m=%d d=%d)",
+				trial, got.N(), got.M(), got.D(), want.N(), want.M(), want.D())
+		}
+		for k, e := range want.Edges() {
+			if got.Edges()[k] != e {
+				t.Fatalf("trial %d: edge %d: got %v want %v", trial, k, got.Edges()[k], e)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if got.ID(i) != want.ID(i) {
+				t.Fatalf("trial %d: node %d id %d != %d", trial, i, got.ID(i), want.ID(i))
+			}
+			if !reflect.DeepEqual(got.Neighbors(i), want.Neighbors(i)) {
+				t.Fatalf("trial %d: node %d adjacency %v != %v", trial, i, got.Neighbors(i), want.Neighbors(i))
+			}
+		}
+	}
+}
+
+func TestFromEdgesValidation(t *testing.T) {
+	if _, err := graph.FromEdges(3, nil, 0, [][2]int{{0, 0}}); err == nil {
+		t.Error("want error for self-loop")
+	}
+	if _, err := graph.FromEdges(3, nil, 0, [][2]int{{0, 3}}); err == nil {
+		t.Error("want error for out-of-range edge")
+	}
+	if _, err := graph.FromEdges(2, []int{1}, 0, nil); err == nil {
+		t.Error("want error for short id slice")
+	}
+	if _, err := graph.FromEdges(2, []int{5, 5}, 0, nil); err == nil {
+		t.Error("want error for duplicate identifiers (bitmap path)")
+	}
+	if _, err := graph.FromEdges(2, []int{1 << 30, 1 << 30}, 0, nil); err == nil {
+		t.Error("want error for duplicate identifiers (map path)")
+	}
+	if _, err := graph.FromEdges(2, []int{0, 1}, 0, nil); err == nil {
+		t.Error("want error for non-positive identifier")
+	}
+	g, err := graph.FromEdges(3, []int{7, 2, 9}, 0, [][2]int{{1, 0}, {1, 2}})
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	if g.D() != 9 {
+		t.Errorf("domain = %d, want 9 (raised to max id)", g.D())
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Errorf("unexpected degrees %d/%d", g.Degree(1), g.Degree(0))
+	}
+}

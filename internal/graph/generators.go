@@ -5,13 +5,23 @@ import (
 	"sort"
 )
 
+// mustFromEdges is FromEdges for generators whose inputs are valid by
+// construction.
+func mustFromEdges(n int, ids []int, domain int, edges [][2]int) *Graph {
+	g, err := FromEdges(n, ids, domain, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // Line returns a path with n nodes 0-1-2-...-(n-1), identifiers 1..n.
 func Line(n int) *Graph {
-	b := NewBuilder(n)
+	edges := make([][2]int, 0, n)
 	for i := 0; i+1 < n; i++ {
-		b.AddEdge(i, i+1)
+		edges = append(edges, [2]int{i, i + 1})
 	}
-	return b.MustBuild()
+	return mustFromEdges(n, nil, 0, edges)
 }
 
 // LineWithIDs returns a path whose node at position i has identifier ids[i].
@@ -30,11 +40,11 @@ func LineWithIDs(ids []int) *Graph {
 
 // Ring returns a cycle with n >= 3 nodes.
 func Ring(n int) *Graph {
-	b := NewBuilder(n)
+	edges := make([][2]int, 0, n)
 	for i := 0; i < n; i++ {
-		b.AddEdge(i, (i+1)%n)
+		edges = append(edges, [2]int{i, (i + 1) % n})
 	}
-	return b.MustBuild()
+	return mustFromEdges(n, nil, 0, edges)
 }
 
 // Star returns a star with one center (index 0) and n-1 leaves.
@@ -206,14 +216,14 @@ func Hypercube(dim int) *Graph {
 // Path p occupies indices [p*pathLen, (p+1)*pathLen). Used by the Section 10
 // Luby experiment.
 func DisjointPaths(count, pathLen int) *Graph {
-	b := NewBuilder(count * pathLen)
+	edges := make([][2]int, 0, count*pathLen)
 	for p := 0; p < count; p++ {
 		base := p * pathLen
 		for i := 0; i+1 < pathLen; i++ {
-			b.AddEdge(base+i, base+i+1)
+			edges = append(edges, [2]int{base + i, base + i + 1})
 		}
 	}
-	return b.MustBuild()
+	return mustFromEdges(count*pathLen, nil, 0, edges)
 }
 
 // BarabasiAlbert returns a preferential-attachment random graph: starting
@@ -227,34 +237,46 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) *Graph {
 	if n < m+1 {
 		n = m + 1
 	}
-	b := NewBuilder(n)
+	// Flat edge-list construction: no Builder map, so million-node instances
+	// build in seconds. The rng draw sequence is pinned — one Intn per
+	// attachment attempt, retrying duplicates — and matches the original
+	// map-based implementation draw for draw, so seeded instances (and the
+	// golden tables derived from them) are unchanged.
+	seedEdges := m * (m + 1) / 2
+	edges := make([][2]int, 0, seedEdges+(n-m-1)*m)
 	// Repeated-endpoint list: picking a uniform element is degree-biased.
-	var endpoints []int
+	endpoints := make([]int, 0, 2*cap(edges))
 	for i := 0; i <= m; i++ {
 		for j := i + 1; j <= m; j++ {
-			b.AddEdge(i, j)
+			edges = append(edges, [2]int{i, j})
 			endpoints = append(endpoints, i, j)
 		}
 	}
+	picks := make([]int, 0, m)
 	for v := m + 1; v < n; v++ {
-		chosen := make(map[int]bool, m)
-		for len(chosen) < m {
-			chosen[endpoints[rng.Intn(len(endpoints))]] = true
+		picks = picks[:0]
+		for len(picks) < m {
+			u := endpoints[rng.Intn(len(endpoints))]
+			dup := false
+			for _, p := range picks {
+				if p == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picks = append(picks, u)
+			}
 		}
-		// Iterate the picks in sorted order: ranging over the map directly
-		// would make the graph (and every downstream rng draw) depend on
-		// map iteration order, breaking run-to-run determinism.
-		picks := make([]int, 0, m)
-		for u := range chosen {
-			picks = append(picks, u)
-		}
+		// Attach in sorted order so the endpoint list (which feeds every
+		// later draw) is independent of pick order.
 		sort.Ints(picks)
 		for _, u := range picks {
-			b.AddEdge(v, u)
+			edges = append(edges, [2]int{u, v})
 			endpoints = append(endpoints, v, u)
 		}
 	}
-	return b.MustBuild()
+	return mustFromEdges(n, nil, 0, edges)
 }
 
 // DisjointUnion returns the disjoint union of the given graphs; node
@@ -284,10 +306,13 @@ func DisjointUnion(gs ...*Graph) *Graph {
 // added if absent, removed if present) — the "related network" churn of the
 // paper's Section 1.1 motivation. Identifiers are preserved.
 func FlipEdges(g *Graph, k int, rng *rand.Rand) *Graph {
-	edges := make(map[[2]int]bool, g.M())
-	for _, e := range g.Edges() {
-		edges[e] = true
-	}
+	// Record the toggled pairs, then form the symmetric difference with the
+	// (already sorted) edge list by a linear merge: no edge map, so churning
+	// a million-node graph costs O(m + k log k) and flat memory. A pair
+	// toggled an even number of times cancels out, exactly as repeated map
+	// toggles did. The rng draw sequence is unchanged from the map-based
+	// implementation.
+	toggles := make([][2]int, 0, k)
 	for i := 0; i < k && g.N() >= 2; i++ {
 		u := rng.Intn(g.N())
 		v := rng.Intn(g.N())
@@ -297,32 +322,45 @@ func FlipEdges(g *Graph, k int, rng *rand.Rand) *Graph {
 		if u > v {
 			u, v = v, u
 		}
-		key := [2]int{u, v}
-		edges[key] = !edges[key]
+		toggles = append(toggles, [2]int{u, v})
 	}
-	b := NewBuilder(g.N())
-	b.SetDomain(g.D())
-	for i := 0; i < g.N(); i++ {
-		b.SetID(i, g.ID(i))
-	}
-	// Add surviving edges in sorted order, not map order, so the resulting
-	// edge list (and anything indexed by it) is deterministic.
-	kept := make([][2]int, 0, len(edges))
-	for e, present := range edges {
-		if present {
-			kept = append(kept, e)
+	sort.Slice(toggles, func(a, b int) bool {
+		if toggles[a][0] != toggles[b][0] {
+			return toggles[a][0] < toggles[b][0]
 		}
-	}
-	sort.Slice(kept, func(a, b int) bool {
-		if kept[a][0] != kept[b][0] {
-			return kept[a][0] < kept[b][0]
-		}
-		return kept[a][1] < kept[b][1]
+		return toggles[a][1] < toggles[b][1]
 	})
-	for _, e := range kept {
-		b.AddEdge(e[0], e[1])
+	flips := make([][2]int, 0, len(toggles))
+	for i := 0; i < len(toggles); {
+		j := i
+		for j < len(toggles) && toggles[j] == toggles[i] {
+			j++
+		}
+		if (j-i)%2 == 1 {
+			flips = append(flips, toggles[i])
+		}
+		i = j
 	}
-	return b.MustBuild()
+	old := g.Edges()
+	kept := make([][2]int, 0, len(old)+len(flips))
+	i, j := 0, 0
+	for i < len(old) && j < len(flips) {
+		switch {
+		case old[i][0] < flips[j][0] || (old[i][0] == flips[j][0] && old[i][1] < flips[j][1]):
+			kept = append(kept, old[i])
+			i++
+		case old[i] == flips[j]:
+			// Present edge toggled off.
+			i++
+			j++
+		default:
+			kept = append(kept, flips[j])
+			j++
+		}
+	}
+	kept = append(kept, old[i:]...)
+	kept = append(kept, flips[j:]...)
+	return mustFromEdges(g.N(), g.IDs(), g.D(), kept)
 }
 
 // ShuffleIDs returns a copy of g with identifiers drawn without replacement

@@ -1,0 +1,46 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The generator benchmarks track the flat-array construction path
+// (FromEdges): regressions here show up directly in the dgp-bench scale
+// sweep's build column.
+
+func BenchmarkRing100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := graph.Ring(100_000)
+		if g.N() != 100_000 {
+			b.Fatal("wrong size")
+		}
+	}
+}
+
+func BenchmarkBarabasiAlbert100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(7))
+		g := graph.BarabasiAlbert(100_000, 3, rng)
+		if g.N() != 100_000 {
+			b.Fatal("wrong size")
+		}
+	}
+}
+
+func BenchmarkFlipEdges100k(b *testing.B) {
+	g := graph.Ring(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(11))
+		h := graph.FlipEdges(g, 1000, rng)
+		if h.N() != g.N() {
+			b.Fatal("wrong size")
+		}
+	}
+}

@@ -159,6 +159,118 @@ func (b *Builder) MustBuild() *Graph {
 	return g
 }
 
+// FromEdges assembles a graph directly from an edge list on flat arrays,
+// skipping the Builder's per-edge map — the fast path for million-node
+// generators. The edge slice is taken over and normalized in place (u < v,
+// sorted, duplicates coalesced). ids supplies the identifier of each node
+// index and may be nil for the identity assignment 1..n; domain is the
+// identifier upper bound d (0 selects the smallest valid bound). The
+// resulting graph is identical to feeding the same edges through a Builder.
+func FromEdges(n int, ids []int, domain int, edges [][2]int) (*Graph, error) {
+	for i, e := range edges {
+		if e[0] > e[1] {
+			edges[i] = [2]int{e[1], e[0]}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	w := 0
+	for i, e := range edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self-loop at node %d", e[0])
+		}
+		if e[0] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e[0], e[1], n)
+		}
+		if i > 0 && e == edges[w-1] {
+			continue
+		}
+		edges[w] = e
+		w++
+	}
+	edges = edges[:w]
+
+	if ids == nil {
+		ids = make([]int, n)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+		if domain < n {
+			domain = n
+		}
+	} else {
+		if len(ids) != n {
+			return nil, fmt.Errorf("graph: %d identifiers for %d nodes", len(ids), n)
+		}
+		own := make([]int, n)
+		copy(own, ids)
+		ids = own
+		for i, id := range ids {
+			if id <= 0 {
+				return nil, fmt.Errorf("graph: node %d has non-positive identifier %d", i, id)
+			}
+			if id > domain {
+				domain = id
+			}
+		}
+		// Distinctness check: a flat bitmap over the identifier domain when
+		// it is comparably sized to n, a map otherwise (huge sparse domains).
+		if domain <= 4*n+1024 {
+			seen := make([]bool, domain+1)
+			for _, id := range ids {
+				if seen[id] {
+					return nil, fmt.Errorf("graph: duplicate identifier %d", id)
+				}
+				seen[id] = true
+			}
+		} else {
+			seen := make(map[int]struct{}, n)
+			for _, id := range ids {
+				if _, dup := seen[id]; dup {
+					return nil, fmt.Errorf("graph: duplicate identifier %d", id)
+				}
+				seen[id] = struct{}{}
+			}
+		}
+	}
+
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offsets := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	adj := make([]int32, offsets[n])
+	fill := deg // reuse: overwritten below as the insertion cursor
+	copy(fill, offsets[:n])
+	for _, e := range edges {
+		u, v := int32(e[0]), int32(e[1])
+		adj[fill[u]] = v
+		fill[u]++
+		adj[fill[v]] = u
+		fill[v]++
+	}
+	// No per-range sort is needed: with edges sorted by (u, v), node x first
+	// receives its neighbors w < x in ascending w (as second endpoints of the
+	// (w, x) groups) and then its neighbors v > x in ascending v (within the
+	// first == x group), so every adjacency range comes out ascending.
+	return &Graph{
+		n:       n,
+		d:       domain,
+		ids:     ids,
+		offsets: offsets,
+		adj:     adj,
+		edges:   edges,
+	}, nil
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
@@ -208,6 +320,15 @@ func (g *Graph) MaxDegree() int {
 // slice aliases internal storage and must not be modified.
 func (g *Graph) Neighbors(i int) []int32 {
 	return g.adj[g.offsets[i]:g.offsets[i+1]]
+}
+
+// CSR exposes the graph's compressed-sparse-row adjacency: node i's
+// neighbor indices are adj[offsets[i]:offsets[i+1]], ascending, with
+// len(offsets) == N()+1. Both slices alias internal storage and must not be
+// modified; they let hot paths (the columnar engine) walk the whole edge
+// set without per-node accessor calls or copies.
+func (g *Graph) CSR() (offsets, adj []int32) {
+	return g.offsets, g.adj
 }
 
 // NeighborsByID returns the neighbor indices of node i ordered by ascending

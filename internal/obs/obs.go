@@ -77,6 +77,12 @@ const (
 	EvEta EventType = "eta"
 	// EvMeta labels the run. Name = "problem/algorithm"; Text carries extras.
 	EvMeta EventType = "meta"
+	// EvTruncated marks a ring-buffer wrap: the recorder overwrote Value
+	// events before the oldest one it still holds. It is synthesized by
+	// Events() as the first returned event whenever the ring dropped
+	// anything, so exports, summaries, and parity diffs see the truncation
+	// explicitly instead of silently analyzing a partial window.
+	EvTruncated EventType = "truncated"
 )
 
 // Event is one trace record. The struct is flat and field meanings are
@@ -145,13 +151,20 @@ func (r *Recorder) Emit(e Event) {
 	r.mu.Unlock()
 }
 
-// Events returns the recorded events, oldest first, as a fresh slice.
+// Events returns the recorded events, oldest first, as a fresh slice. When
+// the ring has wrapped, the slice begins with a synthesized EvTruncated
+// marker carrying the overwrite count in Value, so consumers cannot mistake
+// the surviving window for the whole run: summaries surface it as a loud
+// warning and trace-parity diffs fail when only one side wrapped.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, r.n)
+	out := make([]Event, 0, r.n+1)
+	if r.dropped > 0 {
+		out = append(out, Event{Type: EvTruncated, Value: int64(r.dropped)})
+	}
 	for i := 0; i < r.n; i++ {
-		out[i] = r.buf[(r.start+i)%len(r.buf)]
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
 	}
 	return out
 }

@@ -19,7 +19,13 @@ func TestRecorderRingOverflow(t *testing.T) {
 		t.Fatalf("Dropped = %d, want 6", got)
 	}
 	ev := r.Events()
-	for i, e := range ev {
+	if len(ev) != 5 {
+		t.Fatalf("Events returned %d events, want 4 + truncation marker", len(ev))
+	}
+	if ev[0].Type != EvTruncated || ev[0].Value != 6 {
+		t.Fatalf("first event = %+v, want EvTruncated marker with Value 6", ev[0])
+	}
+	for i, e := range ev[1:] {
 		if want := 7 + i; e.Round != want {
 			t.Fatalf("event %d round = %d, want %d (oldest-first window)", i, e.Round, want)
 		}
@@ -27,6 +33,45 @@ func TestRecorderRingOverflow(t *testing.T) {
 	r.Reset()
 	if r.Len() != 0 || r.Dropped() != 0 {
 		t.Fatalf("Reset did not clear: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestTruncationSurfacesEverywhere(t *testing.T) {
+	r := NewRecorder(2)
+	r.Emit(Event{Type: EvRunStart, Value: 8, Aux: 8})
+	for round := 1; round <= 3; round++ {
+		r.Emit(Event{Type: EvRoundStart, Round: round, Value: 8})
+		r.Emit(Event{Type: EvRoundEnd, Round: round, Value: 4, Aux: 16})
+	}
+	ev := r.Events()
+	if ev[0].Type != EvTruncated {
+		t.Fatalf("wrapped recorder must lead with EvTruncated, got %+v", ev[0])
+	}
+	s := Summarize(ev)
+	if s.Truncated != ev[0].Value || s.Truncated == 0 {
+		t.Fatalf("Summary.Truncated = %d, want %d", s.Truncated, ev[0].Value)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "WARNING: trace truncated") {
+		t.Fatalf("summary text does not warn about truncation:\n%s", buf.String())
+	}
+	snap := Aggregate(ev).Snapshot()
+	var out bytes.Buffer
+	if err := snap.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dgp_trace_truncated_events_total") {
+		t.Fatalf("metrics snapshot does not expose truncation counter:\n%s", out.String())
+	}
+	// An un-wrapped recorder must stay marker-free: the parity tests rely on
+	// Events() being exactly the emitted stream in the common case.
+	clean := NewRecorder(16)
+	clean.Emit(Event{Type: EvRunStart})
+	if ev := clean.Events(); len(ev) != 1 || ev[0].Type != EvRunStart {
+		t.Fatalf("unwrapped recorder emitted spurious marker: %+v", ev)
 	}
 }
 

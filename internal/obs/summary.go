@@ -97,6 +97,10 @@ type Summary struct {
 	Marks []string `json:"marks,omitempty"`
 	// Events is the total event count summarized.
 	Events int `json:"events"`
+	// Truncated is the number of events the recorder's ring overwrote before
+	// the window this summary was built from (from the EvTruncated marker).
+	// When it is non-zero every total in the summary is a lower bound.
+	Truncated int64 `json:"truncated,omitempty"`
 }
 
 // TotalRounds sums rounds across all runs.
@@ -129,6 +133,8 @@ func Summarize(events []Event) Summary {
 	faultIdx := make(map[string]int) // "run/round/kind" -> index into s.Faults
 	for _, e := range events {
 		switch e.Type {
+		case EvTruncated:
+			s.Truncated += e.Value
 		case EvMeta:
 			s.Meta = e.Name
 			s.MetaText = e.Text
@@ -217,6 +223,9 @@ func Summarize(events []Event) Summary {
 // per-phase budget verdicts against declared round budgets.
 func (s Summary) WriteText(w io.Writer) error {
 	bw := &errWriter{w: w}
+	if s.Truncated > 0 {
+		bw.printf("WARNING: trace truncated — ring buffer overwrote %d events; every total below is a lower bound (raise the recorder capacity)\n", s.Truncated)
+	}
 	if s.Meta != "" {
 		bw.printf("trace: %s", s.Meta)
 		if s.MetaText != "" {
@@ -298,6 +307,8 @@ func Aggregate(events []Event) *Registry {
 	reg := NewRegistry()
 	for _, e := range events {
 		switch e.Type {
+		case EvTruncated:
+			reg.Counter("dgp_trace_truncated_events_total").Add(e.Value)
 		case EvRunStart:
 			reg.Counter("dgp_runs_total").Inc()
 			reg.Gauge("dgp_nodes").Set(float64(e.Value))

@@ -1,0 +1,117 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/runtime/fault"
+)
+
+// The columnar engine routes an Env.Broadcast through a batched fast path
+// (one accounting call per surviving neighbor range) and a returned []Out
+// outbox through per-message accounting. These tests pin that the two paths
+// book identical RoundStats and Result ledgers — delivered, dropped,
+// injected, corrupted, and their bit totals — including under duplication
+// faults, where a batched implementation could plausibly count the extra
+// copies once per batch instead of once per copy.
+
+// sizedPayload is a 16-bit payload for exact bit-ledger arithmetic.
+type sizedPayload struct{ v int }
+
+func (sizedPayload) Bits() int { return 16 }
+
+// bcastMachine floods every neighbor for `limit` rounds, either through the
+// batched Env.Broadcast path or the per-message []Out path.
+type bcastMachine struct {
+	limit   int
+	batched bool
+	heard   int
+}
+
+func (m *bcastMachine) Send(env *runtime.Env) []runtime.Out {
+	if env.Round() > m.limit {
+		env.Output(m.heard)
+		env.Terminate()
+		return nil
+	}
+	if m.batched {
+		env.Broadcast(sizedPayload{v: env.ID()})
+		return nil
+	}
+	return runtime.Broadcast(env.Info(), sizedPayload{v: env.ID()})
+}
+
+func (m *bcastMachine) Receive(env *runtime.Env, inbox []runtime.Msg) {
+	m.heard += len(inbox)
+}
+
+func bcastFactory(limit int, batched bool) runtime.Factory {
+	return func(info runtime.NodeInfo, pred any) runtime.Machine {
+		return &bcastMachine{limit: limit, batched: batched}
+	}
+}
+
+func TestBatchedVsPerMessageAccounting(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy *fault.Policy // nil = no adversary
+	}{
+		{name: "clean", policy: nil},
+		{name: "duplication-heavy", policy: &fault.Policy{Seed: 3, Duplicate: 0.5}},
+		{name: "drop+duplicate", policy: &fault.Policy{Seed: 5, Drop: 0.25, Duplicate: 0.25}},
+		{name: "corrupt+duplicate", policy: &fault.Policy{Seed: 7, Corrupt: 0.3, Duplicate: 0.3}},
+		{name: "full-chaos", policy: &fault.Policy{Seed: 11, Drop: 0.2, Duplicate: 0.2, Corrupt: 0.2, Crash: 0.1}},
+	}
+	g := graph.GNP(24, 0.25, rand.New(rand.NewSource(99)))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(batched bool) (*runtime.Result, []runtime.RoundStats) {
+				var stats []runtime.RoundStats
+				cfg := runtime.Config{
+					Graph:   g,
+					Factory: bcastFactory(4, batched),
+					Stats:   func(s runtime.RoundStats) { stats = append(stats, s) },
+				}
+				if tc.policy != nil {
+					cfg.Adversary = fault.New(*tc.policy)
+				}
+				res, err := runtime.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, stats
+			}
+			perMsgRes, perMsgStats := run(false)
+			batchRes, batchStats := run(true)
+
+			if !reflect.DeepEqual(scalarLedger(batchRes), scalarLedger(perMsgRes)) {
+				t.Fatalf("result ledgers differ:\nbatched:     %+v\nper-message: %+v",
+					scalarLedger(batchRes), scalarLedger(perMsgRes))
+			}
+			if !reflect.DeepEqual(batchRes.Outputs, perMsgRes.Outputs) {
+				t.Fatal("outputs differ between batched and per-message runs")
+			}
+			if len(batchStats) != len(perMsgStats) {
+				t.Fatalf("round counts differ: %d vs %d", len(batchStats), len(perMsgStats))
+			}
+			for i := range batchStats {
+				b, p := batchStats[i], perMsgStats[i]
+				b.Duration, p.Duration = 0, 0 // wall clock is the only legitimate difference
+				if b != p {
+					t.Errorf("round %d stats differ:\nbatched:     %+v\nper-message: %+v", b.Round, b, p)
+				}
+			}
+			if tc.policy != nil && tc.policy.Duplicate > 0 && batchRes.Injected == 0 {
+				t.Error("duplication policy injected nothing; the case exercises no batching hazard")
+			}
+		})
+	}
+}
+
+// scalarLedger extracts the comparable accounting fields of a Result.
+func scalarLedger(r *runtime.Result) [8]int {
+	return [8]int{r.Rounds, r.Messages, r.MaxMsgBits, r.Dropped, r.DroppedBits, r.Injected, r.Corrupted, len(r.TerminatedAt)}
+}

@@ -1,0 +1,27 @@
+package runtime
+
+// bitset is the engine's compact active-frontier representation: one bit per
+// node index. Nodes only ever leave the frontier (termination or crash), so
+// the engine's per-round work is proportional to the live frontier, not to
+// n — settled nodes cost one cleared bit, nothing else.
+type bitset []uint64
+
+// newBitset returns an all-clear bitset able to hold n bits.
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+// set marks bit i.
+func (b bitset) set(i int) {
+	b[uint(i)>>6] |= 1 << (uint(i) & 63)
+}
+
+// clear unmarks bit i.
+func (b bitset) clear(i int) {
+	b[uint(i)>>6] &^= 1 << (uint(i) & 63)
+}
+
+// test reports whether bit i is set.
+func (b bitset) test(i int) bool {
+	return b[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}

@@ -219,7 +219,14 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Parallel {
 		st.pool = newWorkerPool(n)
 		if st.pool != nil {
-			defer st.pool.close()
+			// A deadline abort abandons the in-flight phase goroutine, which
+			// may still be dispatching on the pool's channels; closing them
+			// underneath it would race, so the abandoned pool leaks with it.
+			defer func() {
+				if !st.poolAbandoned {
+					st.pool.close()
+				}
+			}()
 		}
 	}
 	res := &Result{
@@ -358,41 +365,92 @@ func validCrashes(crashes map[int]int, n int, source string) error {
 	return nil
 }
 
-// state holds the engine's mutable execution state.
+// crashEntry is one scheduled crash; the engine consumes the schedule as a
+// sorted list (by round, then node index — the index order fixes the crash
+// event emission order within a round) instead of scanning an O(n) map or
+// array every round.
+type crashEntry struct {
+	round int
+	node  int32
+}
+
+func buildCrashSched(crashes map[int]int) []crashEntry {
+	if len(crashes) == 0 {
+		return nil
+	}
+	sched := make([]crashEntry, 0, len(crashes))
+	for i, r := range crashes {
+		sched = append(sched, crashEntry{round: r, node: int32(i)})
+	}
+	sort.Slice(sched, func(a, b int) bool {
+		if sched[a].round != sched[b].round {
+			return sched[a].round < sched[b].round
+		}
+		return sched[a].node < sched[b].node
+	})
+	return sched
+}
+
+// state holds the engine's mutable execution state in columnar form: flat
+// CSR adjacency, one contiguous inbox arena per round, and compact active
+// lists over a frontier bitset. Per-node slice-of-slice structures are gone
+// from the hot path; what remains per node lives in the flat envs slab.
 type state struct {
 	cfg  Config
 	g    *graph.Graph
 	n    int
-	envs []*Env
+	envs []Env
 	mach []Machine
-	// nbIDs[i] is node i's neighbor identifiers, ascending; shared with
-	// NodeInfo.NeighborIDs. Send validation binary-searches it.
-	nbIDs [][]int
-	// nbIdx[i][k] is the node index of the neighbor with identifier
-	// nbIDs[i][k], so routing resolves destinations without a map.
-	nbIdx [][]int32
-	// senderOrder lists node indices in ascending-identifier order; route
-	// walks it so inboxes come out sorted by sender without a per-round sort.
-	senderOrder []int32
-	// active[i]: node participates this round (not terminated, not crashed).
-	active      []bool
+
+	// csrOff/csrNbr/csrIDs are the flat CSR edge arrays, built once per Run:
+	// node i's neighbors are csrNbr[csrOff[i]:csrOff[i+1]] (node indices)
+	// with csrIDs aligned 1:1 holding their identifiers, each range sorted
+	// ascending by identifier. NodeInfo.NeighborIDs and the send-validation
+	// binary search are views into csrIDs; broadcast routing walks csrNbr
+	// ranges directly.
+	csrOff []int32
+	csrNbr []int32
+	csrIDs []int
+
+	// frontier marks the nodes still in the computation; actByIdx (node
+	// index order, phase dispatch and inbox layout) and actByID (identifier
+	// order, routing) are its compact list forms. Nodes only ever leave the
+	// frontier, so both lists are compacted in place at the start of each
+	// round in O(live) time.
+	frontier    bitset
+	actByIdx    []int32
+	actByID     []int32
 	activeCount int
-	// crashedAt[i] is the crash round or 0.
-	crashedAt []int
-	// outboxes[i] holds node i's sends this round.
-	outboxes [][]Out
-	// destIdx[i][k] is the resolved destination node index of outboxes[i][k],
-	// recorded during send validation and reused across rounds.
-	destIdx [][]int32
-	// inboxes[i] holds node i's deliveries this round; backing arrays are
-	// recycled across rounds (truncated, not nil'ed).
-	inboxes [][]Msg
+
+	// crashSched/crashNext consume the merged crash schedule in round order.
+	crashSched []crashEntry
+	crashNext  int
+
+	// inbox is the per-round message arena; inMsgs is the slice acquired for
+	// the current round. inCnt/inOff/inFill carve it into per-node regions:
+	// the counting pass fills inCnt, the offset pass turns it into inOff
+	// (region starts) and resets it, and the placement pass advances inFill.
+	inbox  msgSlab
+	inMsgs []Msg
+	inCnt  []int32
+	inOff  []int32
+	inFill []int32
+
+	// fateCopies/fateSwap record the adversary's verdicts from the counting
+	// pass (copies delivered, 0 = dropped; replacement payload or nil) so the
+	// placement pass replays them without consulting the adversary twice.
+	fateCopies []int32
+	fateSwap   []Payload
+
 	// errs[i] records a per-node engine error (e.g. send to non-neighbor).
 	errs []error
 	// terminatedThisSend marks nodes that terminated during the send phase.
 	terminatedThisSend []bool
-	// pool is the persistent worker pool (Parallel mode only; nil otherwise).
-	pool *workerPool
+	// pool is the persistent worker pool (Parallel mode only; nil otherwise);
+	// poolAbandoned marks that a deadline abort left a phase goroutine alive
+	// on it, so Run must not close it.
+	pool          *workerPool
+	poolAbandoned bool
 	// sendFn/receiveFn are the phase functions, bound once so the per-round
 	// phase dispatch does not allocate method-value closures.
 	sendFn    func(int)
@@ -414,56 +472,102 @@ type state struct {
 	// trace is the attached event recorder (nil = tracing disabled).
 	trace *obs.Recorder
 
+	// observedOutputs/observedActive back Config.Observer; allocated only
+	// when an observer is attached and maintained incrementally (settled
+	// nodes never change after leaving the frontier).
 	observedOutputs []any
 	observedActive  []bool
 }
+
+// idSorter sorts a CSR neighbor range ascending by node identifier. It is
+// reused across ranges so per-node sorting does not allocate a comparison
+// closure per node.
+type idSorter struct {
+	g   *graph.Graph
+	idx []int32
+}
+
+func (s *idSorter) Len() int { return len(s.idx) }
+func (s *idSorter) Less(a, b int) bool {
+	return s.g.ID(int(s.idx[a])) < s.g.ID(int(s.idx[b]))
+}
+func (s *idSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
 
 func newState(cfg Config, g *graph.Graph, n int, crashes map[int]int) *state {
 	st := &state{
 		cfg:                cfg,
 		g:                  g,
 		n:                  n,
-		envs:               make([]*Env, n),
+		envs:               make([]Env, n),
 		mach:               make([]Machine, n),
-		nbIDs:              make([][]int, n),
-		nbIdx:              make([][]int32, n),
-		senderOrder:        make([]int32, n),
-		active:             make([]bool, n),
-		crashedAt:          make([]int, n),
-		outboxes:           make([][]Out, n),
-		destIdx:            make([][]int32, n),
-		inboxes:            make([][]Msg, n),
+		frontier:           newBitset(n),
+		actByIdx:           make([]int32, n),
+		actByID:            make([]int32, n),
+		inCnt:              make([]int32, n),
+		inOff:              make([]int32, n),
+		inFill:             make([]int32, n),
 		errs:               make([]error, n),
 		terminatedThisSend: make([]bool, n),
 		maxMsgBits:         -1,
-		observedOutputs:    make([]any, n),
-		observedActive:     make([]bool, n),
 		trace:              cfg.Trace,
 	}
 	st.sendFn = st.sendPhase
 	st.receiveFn = st.receivePhase
-	delta := g.MaxDegree()
+
+	// Build the ID-sorted CSR. When identifiers are the identity permutation
+	// (the common generator default), the graph's index-sorted adjacency is
+	// already ID-sorted and can be aliased without copying or sorting.
+	off, adj := g.CSR()
+	st.csrOff = off
+	identity := true
 	for i := 0; i < n; i++ {
-		st.senderOrder[i] = int32(i)
-	}
-	sort.Slice(st.senderOrder, func(a, b int) bool {
-		return g.ID(int(st.senderOrder[a])) < g.ID(int(st.senderOrder[b]))
-	})
-	for i := 0; i < n; i++ {
-		nbrs := g.Neighbors(i)
-		idxs := make([]int32, len(nbrs))
-		copy(idxs, nbrs)
-		sort.Slice(idxs, func(a, b int) bool {
-			return g.ID(int(idxs[a])) < g.ID(int(idxs[b]))
-		})
-		nbIDs := make([]int, len(idxs))
-		for j, v := range idxs {
-			nbIDs[j] = g.ID(int(v))
+		if g.ID(i) != i+1 {
+			identity = false
+			break
 		}
+	}
+	st.csrIDs = make([]int, len(adj))
+	if identity {
+		st.csrNbr = adj
+		for k, v := range adj {
+			st.csrIDs[k] = int(v) + 1
+		}
+		for i := range st.actByID {
+			st.actByID[i] = int32(i)
+		}
+	} else {
+		st.csrNbr = make([]int32, len(adj))
+		copy(st.csrNbr, adj)
+		srt := idSorter{g: g}
+		for i := 0; i < n; i++ {
+			srt.idx = st.csrNbr[off[i]:off[i+1]]
+			sort.Sort(&srt)
+		}
+		for k, v := range st.csrNbr {
+			st.csrIDs[k] = g.ID(int(v))
+		}
+		if g.D() == n {
+			// Identifiers are a bijection onto {1..n}: place directly.
+			for i := 0; i < n; i++ {
+				st.actByID[g.ID(i)-1] = int32(i)
+			}
+		} else {
+			for i := range st.actByID {
+				st.actByID[i] = int32(i)
+			}
+			sort.Slice(st.actByID, func(a, b int) bool {
+				return g.ID(int(st.actByID[a])) < g.ID(int(st.actByID[b]))
+			})
+		}
+	}
+
+	delta := g.MaxDegree()
+	tracing := cfg.Trace != nil
+	for i := 0; i < n; i++ {
 		info := NodeInfo{
 			Index:       i,
 			ID:          g.ID(i),
-			NeighborIDs: nbIDs,
+			NeighborIDs: st.csrIDs[off[i]:off[i+1]],
 			N:           n,
 			D:           g.D(),
 			Delta:       delta,
@@ -472,43 +576,74 @@ func newState(cfg Config, g *graph.Graph, n int, crashes map[int]int) *state {
 		if cfg.Predictions != nil {
 			pred = cfg.Predictions[i]
 		}
-		st.envs[i] = &Env{info: info, tracing: cfg.Trace != nil}
+		e := &st.envs[i]
+		e.info = info
+		e.tracing = tracing
 		st.mach[i] = cfg.Factory(info, pred)
-		st.nbIDs[i] = nbIDs
-		st.nbIdx[i] = idxs
-		st.active[i] = true
+		st.actByIdx[i] = int32(i)
+		st.frontier.set(i)
 	}
 	st.activeCount = n
 	// Run has already validated the schedule (indices in range, rounds >= 1).
-	for i, r := range crashes {
-		st.crashedAt[i] = r
+	st.crashSched = buildCrashSched(crashes)
+	if cfg.Observer != nil {
+		st.observedOutputs = make([]any, n)
+		st.observedActive = make([]bool, n)
+		for i := range st.observedActive {
+			st.observedActive[i] = true
+		}
 	}
 	return st
 }
 
+// beginRound applies the round's scheduled crashes, compacts the active
+// lists, and resets the per-round staging of every live node. All work is
+// O(live frontier + crashes this round).
 func (st *state) beginRound(round int) {
 	if st.trace != nil {
 		st.trace.Emit(obs.Event{Type: obs.EvRoundStart, Round: round, Value: int64(st.activeCount)})
 	}
-	for i := 0; i < st.n; i++ {
-		if st.active[i] && st.crashedAt[i] != 0 && round >= st.crashedAt[i] {
-			// Crash takes effect: the node silently leaves the computation.
-			st.active[i] = false
-			st.activeCount--
-			if st.trace != nil {
-				st.trace.Emit(obs.Event{Type: obs.EvCrash, Round: round, Node: st.envs[i].info.ID})
+	for st.crashNext < len(st.crashSched) && st.crashSched[st.crashNext].round <= round {
+		i := int(st.crashSched[st.crashNext].node)
+		st.crashNext++
+		if !st.frontier.test(i) {
+			continue
+		}
+		// Crash takes effect: the node silently leaves the computation.
+		st.frontier.clear(i)
+		st.activeCount--
+		e := &st.envs[i]
+		e.outs, e.dst, e.bcast = nil, nil, nil
+		if st.trace != nil {
+			st.trace.Emit(obs.Event{Type: obs.EvCrash, Round: round, Node: e.info.ID})
+		}
+		if st.cfg.Observer != nil {
+			st.observedActive[i] = false
+			if e.hasOutput {
+				st.observedOutputs[i] = e.output
 			}
 		}
-		if st.active[i] {
-			st.envs[i].round = round
+	}
+	k := 0
+	for _, si := range st.actByIdx {
+		i := int(si)
+		if !st.frontier.test(i) {
+			continue
 		}
-		// Truncate rather than nil so backing arrays are reused; steady-state
-		// rounds allocate nothing in the engine.
-		st.outboxes[i] = st.outboxes[i][:0]
-		st.destIdx[i] = st.destIdx[i][:0]
-		st.inboxes[i] = st.inboxes[i][:0]
+		st.actByIdx[k] = si
+		k++
+		st.envs[i].round = round
 		st.terminatedThisSend[i] = false
 	}
+	st.actByIdx = st.actByIdx[:k]
+	k = 0
+	for _, si := range st.actByID {
+		if st.frontier.test(int(si)) {
+			st.actByID[k] = si
+			k++
+		}
+	}
+	st.actByID = st.actByID[:k]
 }
 
 // searchIDs returns the position of id in the ascending slice a, or len(a)
@@ -537,65 +672,96 @@ func (st *state) callSend(i int) (outs []Out, ok bool) {
 				ErrMachinePanic, st.envs[i].info.ID, st.envs[i].round, r)
 		}
 	}()
-	return st.mach[i].Send(st.envs[i]), true
+	return st.mach[i].Send(&st.envs[i]), true
 }
 
 // callReceive is callSend's Receive-phase counterpart.
 func (st *state) callReceive(i int) (ok bool) {
+	e := &st.envs[i]
+	e.inReceive = true
 	defer func() {
+		e.inReceive = false
 		if r := recover(); r != nil {
 			st.errs[i] = fmt.Errorf("%w: node %d, round %d, Receive: %v",
-				ErrMachinePanic, st.envs[i].info.ID, st.envs[i].round, r)
+				ErrMachinePanic, e.info.ID, e.round, r)
 		}
 	}()
-	st.mach[i].Receive(st.envs[i], st.inboxes[i])
+	st.mach[i].Receive(e, st.inMsgs[st.inOff[i]:st.inFill[i]])
 	return true
 }
 
 func (st *state) sendPhase(i int) {
-	if !st.active[i] {
-		return
-	}
+	e := &st.envs[i]
+	e.bcastSet = false
+	e.bcast = nil
+	e.outs = nil
 	outs, ok := st.callSend(i)
 	if !ok {
 		return
 	}
-	st.outboxes[i] = outs
-	if err := st.envs[i].err; err != nil {
+	if err := e.err; err != nil {
 		st.errs[i] = err
 		return
 	}
-	nb := st.nbIDs[i]
-	dst := st.destIdx[i][:0]
-	for _, out := range st.outboxes[i] {
-		pos := searchIDs(nb, out.To)
-		if pos == len(nb) || nb[pos] != out.To {
-			st.errs[i] = fmt.Errorf("%w: node %d sent to non-neighbor %d", ErrProtocol, st.envs[i].ID(), out.To)
+	if e.bcastSet {
+		if len(outs) > 0 {
+			st.errs[i] = fmt.Errorf("%w: node %d mixed Env.Broadcast with returned sends", ErrProtocol, e.info.ID)
 			return
 		}
-		dst = append(dst, st.nbIdx[i][pos])
+		// The broadcast fast path needs no per-destination validation: the
+		// CSR neighbor range is the destination list. One bandwidth check
+		// covers every copy.
 		if limit := st.cfg.MaxMessageBits; limit > 0 {
-			bs, ok := out.Payload.(BitSized)
-			if !ok || bs.Bits() < 0 {
+			bs, sized := e.bcast.(BitSized)
+			if !sized || bs.Bits() < 0 {
 				st.errs[i] = fmt.Errorf("%w: node %d sent an unsized payload %T",
-					ErrCongestViolation, st.envs[i].ID(), out.Payload)
+					ErrCongestViolation, e.info.ID, e.bcast)
 				return
 			}
 			if b := bs.Bits(); b > limit {
 				st.errs[i] = fmt.Errorf("%w: node %d sent %d bits (limit %d)",
-					ErrCongestViolation, st.envs[i].ID(), b, limit)
+					ErrCongestViolation, e.info.ID, b, limit)
+				return
+			}
+		}
+		if e.terminated {
+			st.terminatedThisSend[i] = true
+		}
+		return
+	}
+	e.outs = outs
+	nbIDs := st.csrIDs[st.csrOff[i]:st.csrOff[i+1]]
+	nbIdx := st.csrNbr[st.csrOff[i]:st.csrOff[i+1]]
+	dst := e.dst[:0]
+	for _, out := range outs {
+		pos := searchIDs(nbIDs, out.To)
+		if pos == len(nbIDs) || nbIDs[pos] != out.To {
+			st.errs[i] = fmt.Errorf("%w: node %d sent to non-neighbor %d", ErrProtocol, e.ID(), out.To)
+			return
+		}
+		dst = append(dst, nbIdx[pos])
+		if limit := st.cfg.MaxMessageBits; limit > 0 {
+			bs, sized := out.Payload.(BitSized)
+			if !sized || bs.Bits() < 0 {
+				st.errs[i] = fmt.Errorf("%w: node %d sent an unsized payload %T",
+					ErrCongestViolation, e.ID(), out.Payload)
+				return
+			}
+			if b := bs.Bits(); b > limit {
+				st.errs[i] = fmt.Errorf("%w: node %d sent %d bits (limit %d)",
+					ErrCongestViolation, e.ID(), b, limit)
 				return
 			}
 		}
 	}
-	st.destIdx[i] = dst
-	if st.envs[i].terminated {
+	e.dst = dst
+	if e.terminated {
 		st.terminatedThisSend[i] = true
 	}
 }
 
 func (st *state) receivePhase(i int) {
-	if !st.active[i] || st.terminatedThisSend[i] {
+	if st.terminatedThisSend[i] {
 		return
 	}
 	if !st.callReceive(i) {
@@ -606,12 +772,22 @@ func (st *state) receivePhase(i int) {
 	}
 }
 
-// route delivers this round's messages. Senders are walked in ascending
-// identifier order, so each inbox is built already sorted by sender and both
-// engine modes are byte-for-byte deterministic. This is also the adversary's
-// interception point: route runs on the engine's single main goroutine in
-// both modes, so a stateful adversary observes one deterministic call
-// sequence regardless of Config.Parallel.
+// route delivers this round's messages into the inbox arena in three
+// columnar passes, all on the engine's main goroutine in both modes:
+//
+//  1. counting — walk senders in ascending identifier order, apply the
+//     model-level drop rules, consult the adversary once per surviving
+//     message (recording its fate), book every delivery/drop ledger, and
+//     count arriving copies per destination;
+//  2. offsets — prefix-sum the counts over the live frontier into per-node
+//     arena regions;
+//  3. placement — walk the same sender order again, replaying recorded
+//     fates, and write messages into their regions by batch copy.
+//
+// Inbox regions come out sorted by sender identifier exactly as the legacy
+// per-message append routing produced them, and the adversary and trace
+// observe the identical per-message call and event sequence — the parity
+// and trace-golden tests pin both.
 func (st *state) route(round int, res *Result) {
 	st.roundMsgs, st.roundBits = 0, 0
 	st.roundDropped, st.roundDroppedBits = 0, 0
@@ -619,113 +795,267 @@ func (st *state) route(round int, res *Result) {
 	st.roundCorrupted = 0
 	adv := st.cfg.Adversary
 	tr := st.trace
-	for _, si := range st.senderOrder {
+	clear(st.fateSwap)
+	st.fateCopies = st.fateCopies[:0]
+	st.fateSwap = st.fateSwap[:0]
+	total := 0
+	for _, si := range st.actByID {
 		i := int(si)
-		if !st.active[i] {
-			continue
-		}
-		from := st.envs[i].info.ID
-		dsts := st.destIdx[i]
+		e := &st.envs[i]
+		from := e.info.ID
 		batchMsgs, batchBits := 0, 0
-		for k, out := range st.outboxes[i] {
-			j := int(dsts[k])
-			// Messages to nodes that already left the computation vanish; a
-			// node terminating during this round's send phase has, by the
-			// model, already assigned all outputs, so deliveries to it are
-			// moot and are dropped as well. The adversary is consulted only
-			// for messages that survive these model-level rules.
-			if !st.active[j] || st.terminatedThisSend[j] {
-				continue
+		if e.bcastSet {
+			payload := e.bcast
+			dsts := st.csrNbr[st.csrOff[i]:st.csrOff[i+1]]
+			if adv == nil {
+				// Uniform batch: count survivors, then account the whole
+				// neighbor range with a single payload-size lookup.
+				delivered := 0
+				for _, dj := range dsts {
+					j := int(dj)
+					if !st.frontier.test(j) || st.terminatedThisSend[j] {
+						continue
+					}
+					st.inCnt[j]++
+					delivered++
+				}
+				if delivered > 0 {
+					total += delivered
+					st.account(payload, delivered, &batchMsgs, &batchBits, res)
+				}
+			} else {
+				for _, dj := range dsts {
+					j := int(dj)
+					if !st.frontier.test(j) || st.terminatedThisSend[j] {
+						continue
+					}
+					copies, pl := st.consultAdversary(round, from, j, payload, res, tr)
+					if copies == 0 {
+						continue
+					}
+					st.inCnt[j] += int32(copies)
+					total += copies
+					st.account(pl, copies, &batchMsgs, &batchBits, res)
+				}
 			}
-			payload := out.Payload
-			copies := 1
-			if adv != nil {
-				to := st.envs[j].info.ID
-				fate := adv.Intercept(round, from, to, payload)
-				if fate.Drop {
-					// Dropped traffic goes on its own ledger, never into
-					// Messages/Bits: the bandwidth numbers stay delivery-only.
-					db := 0
-					if bs, ok := payload.(BitSized); ok && bs.Bits() > 0 {
-						db = bs.Bits()
-					}
-					st.roundDropped++
-					st.roundDroppedBits += db
-					res.Dropped++
-					res.DroppedBits += db
-					if tr != nil {
-						tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "drop", Value: int64(db), Aux: int64(to)})
-					}
+		} else {
+			outs := e.outs
+			for k := range outs {
+				j := int(e.dst[k])
+				// Messages to nodes that already left the computation vanish;
+				// a node terminating during this round's send phase has, by
+				// the model, already assigned all outputs, so deliveries to
+				// it are moot and are dropped as well. The adversary is
+				// consulted only for messages that survive these rules.
+				if !st.frontier.test(j) || st.terminatedThisSend[j] {
 					continue
 				}
-				if fate.Payload != nil {
-					payload = fate.Payload
-					st.roundCorrupted++
-					res.Corrupted++
-					if tr != nil {
-						tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "corrupt", Aux: int64(to)})
+				payload := outs[k].Payload
+				copies := 1
+				if adv != nil {
+					copies, payload = st.consultAdversary(round, from, j, payload, res, tr)
+					if copies == 0 {
+						continue
 					}
 				}
-				if fate.Extra > 0 {
-					copies += fate.Extra
-					st.roundInjected += fate.Extra
-					res.Injected += fate.Extra
-					if tr != nil {
-						tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "duplicate", Value: int64(fate.Extra), Aux: int64(to)})
-					}
-				}
-			}
-			b := -1
-			if bs, ok := payload.(BitSized); ok {
-				b = bs.Bits()
-			}
-			if b > 0 && copies > 1 {
-				st.roundInjectedBits += (copies - 1) * b
-			}
-			for c := 0; c < copies; c++ {
-				st.inboxes[j] = append(st.inboxes[j], Msg{From: from, Payload: payload})
-				res.Messages++
-				st.roundMsgs++
-				batchMsgs++
-				if b < 0 {
-					// An unsized (or wrapper-of-unsized) payload makes the run
-					// LOCAL-only.
-					st.localOnly = true
-				} else {
-					st.roundBits += b
-					batchBits += b
-					if b > st.maxMsgBits {
-						st.maxMsgBits = b
-					}
-				}
+				st.inCnt[j] += int32(copies)
+				total += copies
+				st.account(payload, copies, &batchMsgs, &batchBits, res)
 			}
 		}
+		st.roundMsgs += batchMsgs
+		st.roundBits += batchBits
 		if tr != nil && batchMsgs > 0 {
 			tr.Emit(obs.Event{Type: obs.EvBatch, Round: round, Node: from, Value: int64(batchMsgs), Aux: int64(batchBits)})
 		}
 	}
+
+	st.inMsgs = st.inbox.acquire(total)
+	cur := int32(0)
+	for _, si := range st.actByIdx {
+		i := int(si)
+		st.inOff[i] = cur
+		cur += st.inCnt[i]
+		st.inFill[i] = st.inOff[i]
+		st.inCnt[i] = 0
+	}
+
+	fi := 0
+	for _, si := range st.actByID {
+		i := int(si)
+		e := &st.envs[i]
+		from := e.info.ID
+		if e.bcastSet {
+			payload := e.bcast
+			dsts := st.csrNbr[st.csrOff[i]:st.csrOff[i+1]]
+			if adv == nil {
+				for _, dj := range dsts {
+					j := int(dj)
+					if !st.frontier.test(j) || st.terminatedThisSend[j] {
+						continue
+					}
+					st.inMsgs[st.inFill[j]] = Msg{From: from, Payload: payload}
+					st.inFill[j]++
+				}
+			} else {
+				for _, dj := range dsts {
+					j := int(dj)
+					if !st.frontier.test(j) || st.terminatedThisSend[j] {
+						continue
+					}
+					fi = st.place(from, j, payload, fi)
+				}
+			}
+		} else {
+			outs := e.outs
+			for k := range outs {
+				j := int(e.dst[k])
+				if !st.frontier.test(j) || st.terminatedThisSend[j] {
+					continue
+				}
+				if adv == nil {
+					st.inMsgs[st.inFill[j]] = Msg{From: from, Payload: outs[k].Payload}
+					st.inFill[j]++
+					continue
+				}
+				fi = st.place(from, j, outs[k].Payload, fi)
+			}
+		}
+	}
+}
+
+// place writes one recorded-fate message into destination j's arena region
+// and returns the advanced fate cursor.
+func (st *state) place(from, j int, payload Payload, fi int) int {
+	copies := int(st.fateCopies[fi])
+	if swap := st.fateSwap[fi]; swap != nil {
+		payload = swap
+	}
+	fi++
+	if copies == 0 {
+		return fi
+	}
+	f := st.inFill[j]
+	for c := 0; c < copies; c++ {
+		st.inMsgs[f] = Msg{From: from, Payload: payload}
+		f++
+	}
+	st.inFill[j] = f
+	return fi
+}
+
+// account books count delivered copies of payload: the sender's trace batch,
+// the round and result message ledgers, and the MaxMsgBits / LOCAL-only
+// accumulators. One call covers a whole uniform batch.
+func (st *state) account(payload Payload, count int, batchMsgs, batchBits *int, res *Result) {
+	*batchMsgs += count
+	res.Messages += count
+	b := -1
+	if bs, ok := payload.(BitSized); ok {
+		b = bs.Bits()
+	}
+	if b < 0 {
+		// An unsized (or wrapper-of-unsized) payload makes the run
+		// LOCAL-only.
+		st.localOnly = true
+		return
+	}
+	*batchBits += count * b
+	if b > st.maxMsgBits {
+		st.maxMsgBits = b
+	}
+}
+
+// consultAdversary intercepts one in-flight message: it returns the
+// delivered copy count (0 = dropped) with the possibly-replaced payload,
+// books the adversary ledgers, emits the fault events, and records the fate
+// for the placement pass. The call sequence — senders by ascending
+// identifier, each sender's messages in send order — is identical in both
+// engine modes and identical to the legacy per-message router.
+func (st *state) consultAdversary(round, from, j int, payload Payload, res *Result, tr *obs.Recorder) (int, Payload) {
+	to := st.envs[j].info.ID
+	fate := st.cfg.Adversary.Intercept(round, from, to, payload)
+	if fate.Drop {
+		// Dropped traffic goes on its own ledger, never into Messages/Bits:
+		// the bandwidth numbers stay delivery-only.
+		db := 0
+		if bs, ok := payload.(BitSized); ok && bs.Bits() > 0 {
+			db = bs.Bits()
+		}
+		st.roundDropped++
+		st.roundDroppedBits += db
+		res.Dropped++
+		res.DroppedBits += db
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "drop", Value: int64(db), Aux: int64(to)})
+		}
+		st.fateCopies = append(st.fateCopies, 0)
+		st.fateSwap = append(st.fateSwap, nil)
+		return 0, nil
+	}
+	var swap Payload
+	if fate.Payload != nil {
+		payload = fate.Payload
+		swap = fate.Payload
+		st.roundCorrupted++
+		res.Corrupted++
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "corrupt", Aux: int64(to)})
+		}
+	}
+	copies := 1
+	if fate.Extra > 0 {
+		copies += fate.Extra
+		st.roundInjected += fate.Extra
+		res.Injected += fate.Extra
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "duplicate", Value: int64(fate.Extra), Aux: int64(to)})
+		}
+	}
+	if copies > 1 {
+		if bs, ok := payload.(BitSized); ok && bs.Bits() > 0 {
+			st.roundInjectedBits += (copies - 1) * bs.Bits()
+		}
+	}
+	st.fateCopies = append(st.fateCopies, int32(copies))
+	st.fateSwap = append(st.fateSwap, swap)
+	return copies, payload
 }
 
 func (st *state) endRound(round int, res *Result) {
 	if st.trace != nil {
 		st.drainNotes(round)
 	}
-	for i := 0; i < st.n; i++ {
-		if st.active[i] && st.envs[i].terminated {
-			st.active[i] = false
+	observing := st.cfg.Observer != nil
+	for _, si := range st.actByIdx {
+		i := int(si)
+		e := &st.envs[i]
+		if e.terminated {
+			st.frontier.clear(i)
 			st.activeCount--
-			res.Outputs[i] = st.envs[i].output
+			res.Outputs[i] = e.output
 			res.TerminatedAt[i] = round
 			res.Rounds = round
 			if st.trace != nil {
-				st.trace.Emit(outputEvent(round, st.envs[i]))
+				st.trace.Emit(outputEvent(round, e))
 			}
+			// Release the settled node's routing references; its frontier bit
+			// stays clear for the rest of the run.
+			e.outs, e.dst, e.bcast = nil, nil, nil
+			if observing {
+				st.observedOutputs[i] = e.output
+				st.observedActive[i] = false
+			}
+			continue
 		}
-		st.observedOutputs[i] = st.envs[i].output
-		if !st.envs[i].hasOutput {
-			st.observedOutputs[i] = nil
+		if observing {
+			if e.hasOutput {
+				st.observedOutputs[i] = e.output
+			} else {
+				st.observedOutputs[i] = nil
+			}
+			st.observedActive[i] = true
 		}
-		st.observedActive[i] = st.active[i]
 	}
 }
 
@@ -747,12 +1077,12 @@ func outputEvent(round int, e *Env) obs.Event {
 }
 
 // drainNotes flushes the machines' staged annotations as span events, in
-// node-index order. It runs on the main goroutine strictly after a phase
-// barrier, which is what makes worker-goroutine staging race-free and the
-// emission order identical across engine modes.
+// node-index order over the live frontier. It runs on the main goroutine
+// strictly after a phase barrier, which is what makes worker-goroutine
+// staging race-free and the emission order identical across engine modes.
 func (st *state) drainNotes(round int) {
-	for i := 0; i < st.n; i++ {
-		e := st.envs[i]
+	for _, si := range st.actByIdx {
+		e := &st.envs[si]
 		for _, nt := range e.notes {
 			st.trace.Emit(obs.Event{Type: obs.EvSpan, Round: round, Node: e.info.ID, Name: nt.Name, Value: nt.Value})
 		}
@@ -760,10 +1090,12 @@ func (st *state) drainNotes(round int) {
 	}
 }
 
+// firstError returns the first per-node error in node-index order (actByIdx
+// is index-sorted, so the reported error is deterministic across modes).
 func (st *state) firstError() error {
-	for i := 0; i < st.n; i++ {
-		if st.errs[i] != nil {
-			return st.errs[i]
+	for _, si := range st.actByIdx {
+		if err := st.errs[si]; err != nil {
+			return err
 		}
 	}
 	return nil
@@ -772,8 +1104,9 @@ func (st *state) firstError() error {
 // phase executes one send or receive phase, under the round deadline when
 // one is configured. On a deadline hit the phase goroutine is abandoned (a
 // wedged machine cannot be preempted) and the run aborts with a diagnostic;
-// pool workers that are not wedged drain normally when the deferred pool
-// close runs, so only the stuck machine's goroutine leaks — by design.
+// in pool mode the abandoned goroutine may still be mid-dispatch on the
+// pool, so the pool is abandoned (leaked) with it rather than closed
+// underneath it — a deadline abort is terminal by contract.
 func (st *state) phase(fn func(int), round int, name string) error {
 	if st.cfg.RoundDeadline <= 0 {
 		st.runPhase(fn)
@@ -790,30 +1123,38 @@ func (st *state) phase(fn func(int), round int, name string) error {
 	case <-done:
 		return nil
 	case <-timer.C:
+		st.poolAbandoned = st.pool != nil
 		return fmt.Errorf("%w: %s phase of round %d ran past %v (%d nodes active); abandoning the run",
 			ErrRoundDeadline, name, round, st.cfg.RoundDeadline, st.activeCount)
 	}
 }
 
-// runPhase executes phase(i) for every node: on the persistent pool in
-// Parallel mode, inline otherwise.
+// runPhase executes phase(i) for every node on the live frontier: on the
+// persistent pool in Parallel mode, inline otherwise.
 func (st *state) runPhase(phase func(int)) {
 	if st.pool != nil {
-		st.pool.run(phase)
+		st.pool.run(phase, st.actByIdx)
 		return
 	}
-	for i := 0; i < st.n; i++ {
-		phase(i)
+	for _, si := range st.actByIdx {
+		phase(int(si))
 	}
 }
 
+// poolTask is one phase dispatch to one worker: the phase function and the
+// worker's contiguous share of the frontier list.
+type poolTask struct {
+	phase func(int)
+	nodes []int32
+}
+
 // workerPool is a persistent pool of goroutines, created once per Run. Each
-// worker owns a fixed contiguous index range and blocks on its work channel
-// for the next phase function; run acts as the inter-phase barrier, which
-// realizes the synchronous round structure without spawning a goroutine wave
-// per phase per round.
+// phase, run splits the live frontier list into contiguous per-worker ranges
+// of the shared columnar slabs and blocks until all workers signal done; run
+// acts as the inter-phase barrier, which realizes the synchronous round
+// structure without spawning a goroutine wave per phase per round.
 type workerPool struct {
-	work []chan func(int)
+	work []chan poolTask
 	done chan struct{}
 }
 
@@ -826,35 +1167,38 @@ func newWorkerPool(n int) *workerPool {
 		return nil
 	}
 	p := &workerPool{done: make(chan struct{}, workers)}
-	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		ch := make(chan func(int), 1)
+		ch := make(chan poolTask, 1)
 		p.work = append(p.work, ch)
-		go func(lo, hi int, ch chan func(int)) {
-			for phase := range ch {
-				for i := lo; i < hi; i++ {
-					phase(i)
+		go func(ch chan poolTask) {
+			for t := range ch {
+				for _, si := range t.nodes {
+					t.phase(int(si))
 				}
 				p.done <- struct{}{}
 			}
-		}(lo, hi, ch)
+		}(ch)
 	}
 	return p
 }
 
-// run executes phase on every worker's range and returns once all workers
-// have finished (the barrier).
-func (p *workerPool) run(phase func(int)) {
-	for _, ch := range p.work {
-		ch <- phase
+// run executes phase on every worker's share of the frontier and returns
+// once all workers have finished (the barrier).
+func (p *workerPool) run(phase func(int), nodes []int32) {
+	chunk := (len(nodes) + len(p.work) - 1) / len(p.work)
+	if chunk < 1 {
+		chunk = 1
+	}
+	for w, ch := range p.work {
+		lo := w * chunk
+		if lo > len(nodes) {
+			lo = len(nodes)
+		}
+		hi := lo + chunk
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		ch <- poolTask{phase: phase, nodes: nodes[lo:hi]}
 	}
 	for range p.work {
 		<-p.done

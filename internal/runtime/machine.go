@@ -115,6 +115,16 @@ type Env struct {
 	// goroutine after the phase barrier, in node-index order.
 	tracing bool
 	notes   []Note
+	// outs/dst stage the node's validated outbox for the routing passes:
+	// outs is the slice returned by Send, dst the destination node indices
+	// resolved during validation (reused across rounds). bcast/bcastSet
+	// stage an Env.Broadcast payload instead; inReceive guards Broadcast
+	// against receive-phase calls.
+	outs      []Out
+	dst       []int32
+	bcast     Payload
+	bcastSet  bool
+	inReceive bool
 }
 
 // Info returns the node's static information.
@@ -176,6 +186,26 @@ func (e *Env) Annotate(name string, value int64) {
 		return
 	}
 	e.notes = append(e.notes, Note{Name: name, Value: value})
+}
+
+// Broadcast asks the engine to deliver payload to every neighbor this
+// round, without materializing a per-neighbor []Out. It is the zero-
+// allocation counterpart of returning Broadcast(env.Info(), payload) from
+// Send: the engine walks the node's CSR neighbor range directly. Call it
+// from Send (at most once per round) and return nil; calling it from
+// Receive, twice in a round, or alongside returned sends is a protocol
+// error.
+func (e *Env) Broadcast(payload Payload) {
+	if e.inReceive {
+		e.fail(fmt.Errorf("%w: Broadcast called during Receive", ErrProtocol))
+		return
+	}
+	if e.bcastSet {
+		e.fail(fmt.Errorf("%w: Broadcast called twice in one round", ErrProtocol))
+		return
+	}
+	e.bcast = payload
+	e.bcastSet = true
 }
 
 func (e *Env) fail(err error) {

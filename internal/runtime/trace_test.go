@@ -137,6 +137,12 @@ func TestTraceParityAcrossEngines(t *testing.T) {
 		}
 		seq := obs.Canonical(run(false))
 		par := obs.Canonical(run(true))
+		// A wrapped ring would silently shrink the compared window; the
+		// recorder marks truncation explicitly and parity must not proceed
+		// over a partial trace.
+		if countEvents(seq, obs.EvTruncated) != 0 || countEvents(par, obs.EvTruncated) != 0 {
+			t.Fatalf("trial %d: trace ring wrapped during parity run; raise the recorder capacity", trial)
+		}
 		if i, desc, ok := obs.Diff(seq, par); !ok {
 			t.Fatalf("trial %d: traces diverge at %d: %s", trial, i, desc)
 		}
