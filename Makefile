@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke all
+.PHONY: build test race lint fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke dynamic-smoke all
 
 all: build lint test
 
@@ -57,3 +57,14 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/runtime -run '^$$' -fuzz FuzzAdversaryParity -fuzztime 30s
 	$(GO) test ./internal/heal -run '^$$' -fuzz FuzzCarve -fuzztime 30s
+	$(GO) test . -run '^$$' -fuzz FuzzSessionConvergence -fuzztime 30s
+
+# The dynamic-session path end to end: the update-stream CLI under stream
+# chaos on both engines, then the CH5/CH6 recovery tables (batch-size sweep
+# and the 250k-node scale run demonstrating rounds ∝ η, not n).
+dynamic-smoke:
+	$(GO) build -o /tmp/dgp-run ./cmd/dgp-run
+	printf '{"seq":1,"insert":[[0,50],[1,60]]}\n{"seq":2,"delete":[[0,50]],"insert":[[2,70]]}\n{"seq":1,"insert":[[0,50]]}\n' > /tmp/updates.jsonl
+	/tmp/dgp-run -problem mis -graph gnp -n 200 -seed 7 -updates /tmp/updates.jsonl -streamchaos 0.3
+	/tmp/dgp-run -problem mis -graph gnp -n 200 -seed 7 -updates /tmp/updates.jsonl -streamchaos 0.3 -parallel
+	$(GO) run ./cmd/dgp-bench -dynamic

@@ -14,9 +14,10 @@ import (
 // healing machinery runs under a seeded chaos adversary and self-heals via
 // RunProblemWithRecovery; cells report the end-to-end rounds (primary +
 // recovery) and the carved residual that the healing run had to re-decide.
-// Problems whose instances the sweep graphs cannot form (the tree problem
-// needs acyclic graphs) are skipped with a note. It lives in this command
-// (not internal/bench) because it drives the public recovery API. A non-nil
+// Each problem runs on a graph family its instances accept: sparse GNP, or
+// random trees for the tree problem (whose instances must be acyclic), so
+// every healing problem appears in the tables. It lives in this command (not
+// internal/bench) because it drives the public recovery API. A non-nil
 // recorder captures every run's event trace for -metrics.
 func runChaosSweep(rec *obs.Recorder) error {
 	const (
@@ -32,17 +33,14 @@ func runChaosSweep(rec *obs.Recorder) error {
 		if !prob.CanHeal {
 			continue
 		}
-		// Probe: the sweep's GNP graphs must be valid instances of the
-		// problem (they are cyclic, which the tree problem rejects).
-		probe := repro.GNP(n, p, repro.NewRand(1))
-		if _, err := repro.GeneratePreds(prob.Name, probe, 0, 1); err != nil {
-			fmt.Printf("(skipping %s: %v)\n\n", prob.Name, err)
-			continue
+		family := fmt.Sprintf("GNP(%d, %.2f)", n, p)
+		if prob.Name == "tree" {
+			family = fmt.Sprintf("random tree, n=%d", n)
 		}
 		tables++
 		t := &bench.Table{
 			ID:    fmt.Sprintf("CH%d", tables),
-			Title: fmt.Sprintf("chaos degradation, %s: GNP(%d, %.2f), Simple Template, self-healing, %d trials", prob.Name, n, p, trials),
+			Title: fmt.Sprintf("chaos degradation, %s: %s, Simple Template, self-healing, %d trials", prob.Name, family, trials),
 		}
 		t.Columns = append(t.Columns, "fault rate")
 		for _, f := range flipss {
@@ -55,7 +53,12 @@ func runChaosSweep(rec *obs.Recorder) error {
 				primary, recovery, residual := 0, 0, 0
 				for trial := 0; trial < trials; trial++ {
 					seed := int64(1000*pi + 100*trial + flips)
-					g := repro.GNP(n, p, repro.NewRand(seed))
+					var g *repro.Graph
+					if prob.Name == "tree" {
+						g = repro.RandomTree(n, repro.NewRand(seed))
+					} else {
+						g = repro.GNP(n, p, repro.NewRand(seed))
+					}
 					preds, err := repro.GeneratePreds(prob.Name, g, flips, seed+1)
 					if err != nil {
 						return fmt.Errorf("chaos sweep %s rate %.2f flips %d: %w", prob.Name, rate, flips, err)
@@ -92,7 +95,9 @@ func runChaosSweep(rec *obs.Recorder) error {
 		t.Note("per-phase round breakdown: cells split end-to-end rounds into the heal phases (primary -> recovery); the final CH table traces one run's η trajectory")
 		t.Render(os.Stdout)
 	}
-	return etaTrajectoryTable(tables+1, rec)
+	// CH5 and CH6 are the dynamic-session tables (-dynamic); the trajectory
+	// table stays the final CH table after them.
+	return etaTrajectoryTable(tables+3, rec)
 }
 
 // etaTrajectoryTable traces one self-healing MIS run end to end and renders

@@ -11,6 +11,7 @@
 //	dgp-bench -enginestats     # per-round engine instrumentation demo
 //	dgp-bench -enginestats -n 8192 -par
 //	dgp-bench -chaos           # fault-rate × η degradation sweep
+//	dgp-bench -dynamic         # dynamic-session recovery sweep
 //	dgp-bench -enginestats -metrics -          # Prometheus metrics to stdout
 //	dgp-bench -chaos -cpuprofile cpu.pprof     # profile the sweep
 package main
@@ -42,6 +43,7 @@ func run() error {
 	list := flag.Bool("list", false, "list experiments")
 	engineStats := flag.Bool("enginestats", false, "print per-round engine stats (Config.Stats) for a greedy-MIS ring run")
 	chaos := flag.Bool("chaos", false, "run the fault-rate × η degradation sweep (self-healing runs)")
+	dynamic := flag.Bool("dynamic", false, "run the dynamic-session sweep (recovery vs batch size and vs graph size)")
 	nodes := flag.String("nodes", "", "run the engine scale sweep at these comma-separated node counts (e.g. 100000,1000000,10000000)")
 	n := flag.Int("n", 4096, "ring size for -enginestats")
 	par := flag.Bool("par", false, "use the worker-pool engine for -enginestats and -nodes")
@@ -76,8 +78,8 @@ func run() error {
 	}
 	var rec *obs.Recorder
 	if *metrics != "" {
-		if !*engineStats && !*chaos {
-			return fmt.Errorf("-metrics requires -enginestats or -chaos (the table experiments are deterministic renders with no run to meter)")
+		if !*engineStats && !*chaos && !*dynamic {
+			return fmt.Errorf("-metrics requires -enginestats, -chaos, or -dynamic (the table experiments are deterministic renders with no run to meter)")
 		}
 		rec = obs.NewRecorder(0)
 	}
@@ -99,6 +101,12 @@ func run() error {
 	}
 	if *chaos {
 		if err := runChaosSweep(rec); err != nil {
+			return err
+		}
+		return writeMetrics(rec, *metrics)
+	}
+	if *dynamic {
+		if err := runDynamicSweep(rec, *par); err != nil {
 			return err
 		}
 		return writeMetrics(rec, *metrics)

@@ -51,6 +51,8 @@ func run() error {
 		chaos    = flag.Float64("chaos", 0, "fault rate r: drop r, duplicate r/2, corrupt r/4, crash r/4 per message/node")
 		heal     = flag.Bool("heal", false, "self-heal faulted runs (Options.Recover)")
 		deadline = flag.Duration("deadline", 0, "per-phase watchdog deadline (0 = off)")
+		updates  = flag.String("updates", "", "drive a dynamic session from this JSONL edge-update stream ('-' = stdin); one {\"seq\":1,\"insert\":[[0,5]],\"delete\":[[1,2]]} per line")
+		schaos   = flag.Float64("streamchaos", 0, "update-stream fault rate r: drop r, duplicate r/2, reorder r/2 per batch; step chaos at rate r (with -updates)")
 	)
 	flag.Parse()
 
@@ -117,7 +119,12 @@ func run() error {
 		opts.Trace = rec
 	}
 
-	err := runProblem(g, *problem, *alg, *flips, opts, *show)
+	var err error
+	if *updates != "" {
+		err = runUpdates(g, *problem, *updates, *schaos, *seed, opts, *show)
+	} else {
+		err = runProblem(g, *problem, *alg, *flips, opts, *show)
+	}
 	if adversary != nil {
 		s := adversary.Stats()
 		fmt.Printf("chaos: dropped=%d duplicated=%d corrupted=%d failedLinks=%d crashed=%d\n",

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+// updateLine is one JSONL record of the -updates stream:
+//
+//	{"seq":1,"insert":[[0,5]],"delete":[[1,2]]}
+//
+// Endpoints are node indices in [0, n). Lines are delivered in file order;
+// seq deduplicates redeliveries (and is perturbed by -streamchaos).
+type updateLine struct {
+	Seq    int      `json:"seq"`
+	Insert [][2]int `json:"insert"`
+	Delete [][2]int `json:"delete"`
+}
+
+// readBatches parses a JSONL update stream ('-' = stdin).
+func readBatches(path string) ([]repro.UpdateBatch, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var batches []repro.UpdateBatch
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var u updateLine
+		if err := json.Unmarshal(raw, &u); err != nil {
+			return nil, fmt.Errorf("updates line %d: %w", line, err)
+		}
+		b := repro.UpdateBatch{Seq: u.Seq}
+		for _, e := range u.Insert {
+			b.Updates = append(b.Updates, repro.EdgeUpdate{Op: repro.EdgeInsert, U: e[0], V: e[1]})
+		}
+		for _, e := range u.Delete {
+			b.Updates = append(b.Updates, repro.EdgeUpdate{Op: repro.EdgeDelete, U: e[0], V: e[1]})
+		}
+		batches = append(batches, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return batches, nil
+}
+
+// runUpdates drives a dynamic session over the JSONL update stream: open on
+// the generated graph, stream the batches (optionally under stream chaos),
+// and report each step's recovery cost.
+func runUpdates(g *repro.Graph, problemName, path string, streamchaos float64, seed int64, opts repro.Options, show bool) error {
+	batches, err := readBatches(path)
+	if err != nil {
+		return err
+	}
+	s, err := repro.NewSession(g, problemName, repro.SessionOptions{
+		Parallel:      opts.Parallel,
+		StepMaxRounds: opts.MaxRounds,
+		Trace:         opts.Trace,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d delta=%d\n", g.N(), g.M(), g.MaxDegree())
+	fmt.Printf("session: problem=%s batches=%d\n", problemName, len(batches))
+	var sp *repro.StreamPolicy
+	if streamchaos > 0 {
+		sp = &repro.StreamPolicy{
+			Seed:      seed + 3,
+			Drop:      streamchaos,
+			Duplicate: streamchaos / 2,
+			Reorder:   streamchaos / 2,
+			StepFault: streamchaos,
+			Step: repro.ChaosPolicy{
+				Drop:    streamchaos,
+				Corrupt: streamchaos / 4,
+			},
+		}
+	}
+	steps, stream, err := s.ApplyStream(batches, sp)
+	for _, st := range steps {
+		switch st.Outcome {
+		case "applied":
+			extra := ""
+			if st.Widened > 0 || st.FullRerun {
+				extra = fmt.Sprintf(" widened=%d fullRerun=%v", st.Widened, st.FullRerun)
+			}
+			fmt.Printf("step seq=%d applied updates=%d damaged=%d residual=%d attempts=%d rounds=%d%s\n",
+				st.Seq, st.Updates, st.Damaged, st.Residual, st.Attempts, st.Rounds, extra)
+		case "rejected":
+			fmt.Printf("step seq=%d rejected: %v\n", st.Seq, st.Err)
+		default:
+			fmt.Printf("step seq=%d %s\n", st.Seq, st.Outcome)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	stats := s.Close()
+	if sp != nil {
+		fmt.Printf("streamchaos: dropped=%d duplicated=%d reordered=%d faultedSteps=%d\n",
+			stream.Dropped, stream.Duplicated, stream.Reordered, stream.FaultedSteps)
+	}
+	fg := s.Graph()
+	fmt.Printf("final: n=%d m=%d applied=%d duplicates=%d rejected=%d damaged=%d\n",
+		fg.N(), fg.M(), stats.Applied, stats.Duplicates, stats.Rejected, stats.Damaged)
+	fmt.Printf("recovery: initialRounds=%d recoveryRounds=%d recoveryMessages=%d widened=%d fullReruns=%d\n",
+		stats.InitialRounds, stats.RecoveryRounds, stats.RecoveryMessages, stats.Widened, stats.FullReruns)
+	if show {
+		fmt.Printf("%s: %v\n", outputLabel(problemName), s.Output())
+	}
+	return nil
+}

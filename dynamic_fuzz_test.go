@@ -1,0 +1,107 @@
+package repro_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/heal"
+	"repro/internal/problem"
+	"repro/internal/runtime"
+)
+
+// FuzzSessionConvergence is the dynamic-session convergence contract under
+// fuzzed shapes and chaos: after K chaos-perturbed batches, the session's
+// final output must (a) be byte-identical between the sequential and pool
+// engines — reports, stats, and final graph included, (b) be a valid
+// solution on the session's final graph, and (c) be a fixed point of the
+// from-scratch Simple Template on that graph: feeding it back as the
+// prediction vector reproduces it byte-for-byte (Observation 7, η = 0). An
+// incrementally healed output is indistinguishable from a prediction the
+// template has nothing to fix.
+func FuzzSessionConvergence(f *testing.F) {
+	f.Add(uint64(0x1a2b3c4d5e), uint64(0x9f8e7d6c5b))
+	f.Add(uint64(2), uint64(0))
+	f.Add(uint64(0xffff_ffff_ffff), uint64(0xffff_ffff_ffff))
+	f.Add(uint64(0x03_77_1234), uint64(0x42_00_ff_40_20_80))
+	f.Fuzz(func(t *testing.T, shape, chaos uint64) {
+		frac := func(b uint64) float64 { return float64(b&0xff) / 256 }
+		problems := []string{"mis", "matching", "vcolor", "tree"}
+		name := problems[shape&3]
+		n := 12 + int((shape>>2)%48)
+		k := 1 + int((shape>>8)%10)
+		rng := repro.NewRand(int64(shape >> 18 % (1 << 20)))
+		var g *repro.Graph
+		if name == "tree" {
+			g = repro.RandomTree(n, rng)
+		} else {
+			g = repro.GNP(n, 0.04+frac(shape>>10)*0.15, rng)
+		}
+		batches := make([]repro.UpdateBatch, k)
+		edges := g.Edges()
+		for b := range batches {
+			var ups []repro.EdgeUpdate
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				// Tree sessions get delete-only updates so the from-scratch
+				// comparison stays on a forest.
+				if name != "tree" && rng.Intn(2) == 0 {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u != v {
+						ups = append(ups, repro.EdgeUpdate{Op: repro.EdgeInsert, U: u, V: v})
+					}
+				} else if len(edges) > 0 {
+					e := edges[rng.Intn(len(edges))]
+					ups = append(ups, repro.EdgeUpdate{Op: repro.EdgeDelete, U: e[0], V: e[1]})
+				}
+			}
+			batches[b] = repro.UpdateBatch{Seq: b, Updates: ups}
+		}
+		sp := &repro.StreamPolicy{
+			Seed:      int64(chaos >> 40 % (1 << 20)),
+			Drop:      frac(chaos) * 0.4,
+			Duplicate: frac(chaos>>8) * 0.4,
+			Reorder:   frac(chaos>>16) * 0.4,
+			StepFault: frac(chaos>>24) * 0.6,
+			Step: repro.ChaosPolicy{
+				Drop:    frac(chaos>>32) * 0.4,
+				Corrupt: frac(chaos>>36) * 0.3,
+			},
+		}
+		run := func(parallel bool) *repro.SessionReport {
+			rep, err := repro.RunSession(g, name, batches, sp, repro.SessionOptions{Parallel: parallel})
+			if err != nil {
+				t.Fatalf("parallel=%v: %v", parallel, err)
+			}
+			return rep
+		}
+		seq, pool := run(false), run(true)
+		if !reflect.DeepEqual(seq.Output, pool.Output) || !reflect.DeepEqual(seq.Steps, pool.Steps) ||
+			seq.Stats != pool.Stats || !reflect.DeepEqual(seq.FinalGraph.Edges(), pool.FinalGraph.Edges()) {
+			t.Fatalf("engine modes disagree:\nseq  %+v\npool %+v", seq, pool)
+		}
+		d, err := problem.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := heal.SpecFor(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := spec.Verify(seq.FinalGraph, seq.Output); verr != nil {
+			t.Fatalf("final output invalid on final graph: %v", verr)
+		}
+		preds := make([]any, len(seq.Output))
+		for i, v := range seq.Output {
+			preds[i] = v
+		}
+		res, err := runtime.Run(runtime.Config{Graph: seq.FinalGraph, Factory: spec.HealFactory, Predictions: preds})
+		if err != nil {
+			t.Fatalf("fixed-point run: %v", err)
+		}
+		for i, o := range res.Outputs {
+			if v, ok := o.(int); !ok || v != seq.Output[i] {
+				t.Fatalf("node %d: from-scratch template moved the session output %v -> %v", i, seq.Output[i], o)
+			}
+		}
+	})
+}

@@ -1,82 +1,101 @@
-// Network update: the paper's Section 1.1 motivating scenario. A maximal
-// independent set was computed on yesterday's network; overnight the network
-// drifted (links added and removed). Instead of recomputing from scratch,
-// every node reuses its old output as a prediction. The example compares all
-// four templates under increasing churn, for both MIS and maximal matching.
+// Network update: the paper's Section 1.1 motivating scenario, run as a
+// dynamic session. A maximal independent set is computed once; then the
+// network drifts day by day (links added and removed in batches). Instead of
+// recomputing from scratch, the session re-encodes yesterday's output as
+// today's prediction and self-heals only the damaged region, so each day's
+// cost tracks the day's churn — not the network size. The example streams a
+// week of churn through repro.Session, shows a duplicated delivery being
+// absorbed, and contrasts every day's recovery rounds with a from-scratch
+// run on the same graph.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(w io.Writer) error {
 	rng := repro.NewRand(42)
-	yesterday := repro.GNP(250, 0.025, rng)
-	fmt.Printf("yesterday's network: n=%d m=%d\n\n", yesterday.N(), yesterday.M())
+	g := repro.GNP(250, 0.025, rng)
+	s, err := repro.NewSession(g, "mis", repro.SessionOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "day 0 network: n=%d m=%d; initial MIS in %d rounds\n\n",
+		g.N(), g.M(), s.Stats().InitialRounds)
 
-	fmt.Println("--- MIS: reuse yesterday's solution as predictions ---")
-	fmt.Println("churn  eta1  simple  consecutive  interleaved  parallel  scratch")
-	for _, churn := range []int{0, 2, 5, 10, 25, 50, 100} {
-		today := flip(yesterday, churn)
-		preds := repro.MISFromRelatedGraph(today, yesterday)
-		errs, err := repro.MISErrorReport(today, preds)
+	fmt.Fprintln(w, "day  churn  damaged  residual  recovery  scratch")
+	for day := 1; day <= 7; day++ {
+		churn := []int{0, 2, 2, 5, 10, 25, 50, 100}[day]
+		batch := churnBatch(s.Graph(), day, churn)
+		step, err := s.Apply(batch)
 		if err != nil {
 			return err
 		}
-		rounds := make(map[repro.MISAlgorithm]int)
-		for _, alg := range []repro.MISAlgorithm{
-			repro.MISSimple, repro.MISConsecutiveDecomp,
-			repro.MISInterleavedDecomp, repro.MISParallelColoring,
-		} {
-			res, err := repro.RunMIS(today, preds, alg, repro.Options{Seed: 9})
-			if err != nil {
-				return err
-			}
-			rounds[alg] = res.Run.Rounds
-		}
-		scratch, err := repro.RunMIS(today, nil, repro.MISGreedy, repro.Options{})
+		// The from-scratch contrast: the same template, no predictions.
+		scratch, err := repro.RunProblem(s.Graph(), "mis", "simple", nil, repro.Options{})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%5d  %4d  %6d  %11d  %11d  %8d  %7d\n",
-			churn, errs.Eta1,
-			rounds[repro.MISSimple], rounds[repro.MISConsecutiveDecomp],
-			rounds[repro.MISInterleavedDecomp], rounds[repro.MISParallelColoring],
-			scratch.Run.Rounds)
+		fmt.Fprintf(w, "%3d  %5d  %7d  %8d  %8d  %7d\n",
+			day, step.Updates, step.Damaged, step.Residual, step.Rounds, scratch.Run.Rounds)
 	}
 
-	fmt.Println()
-	fmt.Println("--- Maximal matching: same story ---")
-	fmt.Println("churn  eta1  simple  consecutive")
-	for _, churn := range []int{0, 2, 10, 50} {
-		today := flip(yesterday, churn)
-		// A matching predictor: yesterday's canonical matching restricted to
-		// the pairs whose edge survived.
-		preds := repro.PerfectMatching(yesterday)
-		simple, err := repro.RunMatching(today, preds, repro.MatchingSimple, repro.Options{})
-		if err != nil {
-			return err
-		}
-		consecutive, err := repro.RunMatching(today, preds, repro.MatchingConsecutive, repro.Options{})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%5d  %4d  %6d  %11d\n",
-			churn, repro.MatchingEta1(today, preds), simple.Run.Rounds, consecutive.Run.Rounds)
+	// A flaky transport redelivers day 7's batch: the session deduplicates
+	// by sequence number and the graph and output are untouched.
+	dup, err := s.Apply(churnBatch(s.Graph(), 7, 100))
+	if err != nil {
+		return err
 	}
+	fmt.Fprintf(w, "\nredelivered day 7 batch: outcome=%s\n", dup.Outcome)
+
+	// Convergence check (Observation 7): feeding the session's output back
+	// into the from-scratch template as an error-free prediction reproduces
+	// it — the incrementally healed MIS is a fixed point.
+	out := s.Output()
+	replay, err := repro.RunProblem(s.Graph(), "mis", "simple", out, repro.Options{})
+	if err != nil {
+		return err
+	}
+	same := len(replay.Output) == len(out)
+	for i := range out {
+		if same && replay.Output[i] != out[i] {
+			same = false
+		}
+	}
+	stats := s.Close()
+	fmt.Fprintf(w, "fixed point under replay: %v\n", same)
+	fmt.Fprintf(w, "week total: applied=%d duplicates=%d damaged=%d recoveryRounds=%d (one from-scratch run: %d rounds)\n",
+		stats.Applied, stats.Duplicates, stats.Damaged, stats.RecoveryRounds, stats.InitialRounds)
 	return nil
 }
 
-// flip toggles churn random node pairs, deterministically per churn level.
-func flip(g *repro.Graph, churn int) *repro.Graph {
-	return repro.FlipEdges(g, churn, repro.NewRand(int64(1000+churn)))
+// churnBatch toggles `churn` random node pairs as one update batch,
+// deterministically per day: pairs currently non-adjacent are inserted,
+// adjacent ones deleted.
+func churnBatch(g *repro.Graph, day, churn int) repro.UpdateBatch {
+	rng := repro.NewRand(int64(1000 + day))
+	b := repro.UpdateBatch{Seq: day}
+	for i := 0; i < churn; i++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			continue
+		}
+		op := repro.EdgeInsert
+		if g.HasEdge(u, v) {
+			op = repro.EdgeDelete
+		}
+		b.Updates = append(b.Updates, repro.EdgeUpdate{Op: op, U: u, V: v})
+	}
+	return b
 }

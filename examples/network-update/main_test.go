@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestOutputPinned keeps the example's output in sync with the library: the
+// session is fully deterministic, so the printed week is byte-stable. On an
+// intentional behavior change, regenerate with
+//
+//	go run ./examples/network-update > examples/network-update/testdata/output.golden
+func TestOutputPinned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/output.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("example output drifted from testdata/output.golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

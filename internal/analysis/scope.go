@@ -16,6 +16,7 @@ var DeterministicPkgs = []string{
 	"internal/runtime/fault",
 	"internal/core",
 	"internal/heal",
+	"internal/dynamic",
 	"internal/mis",
 	"internal/matching",
 	"internal/vcolor",
@@ -68,6 +69,7 @@ var WrapErrPkgs = []string{
 	"internal/runtime/fault",
 	"internal/core",
 	"internal/heal",
+	"internal/dynamic",
 }
 
 // PathInScope reports whether path is the module root or ends with one of

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// rebuildWith reconstructs the patched graph through the Builder — the slow
+// reference ApplyPatch must match exactly.
+func rebuildWith(t *testing.T, g *Graph, p Patch) *Graph {
+	t.Helper()
+	have := make(map[[2]int]bool, g.M())
+	for _, e := range g.Edges() {
+		have[e] = true
+	}
+	norm := func(e [2]int) [2]int {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		return e
+	}
+	for _, e := range p.Insert {
+		have[norm(e)] = true
+	}
+	for _, e := range p.Delete {
+		delete(have, norm(e))
+	}
+	b := NewBuilder(g.N())
+	b.SetDomain(g.D())
+	for i := 0; i < g.N(); i++ {
+		b.SetID(i, g.ID(i))
+	}
+	for e := range have {
+		b.AddEdge(e[0], e[1])
+	}
+	built, err := b.Build()
+	if err != nil {
+		t.Fatalf("reference rebuild: %v", err)
+	}
+	return built
+}
+
+func sameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() || got.D() != want.D() {
+		t.Fatalf("shape differs: got n=%d m=%d d=%d, want n=%d m=%d d=%d",
+			got.N(), got.M(), got.D(), want.N(), want.M(), want.D())
+	}
+	if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+		t.Fatalf("edge lists differ:\ngot  %v\nwant %v", got.Edges(), want.Edges())
+	}
+	for v := 0; v < got.N(); v++ {
+		if got.ID(v) != want.ID(v) {
+			t.Fatalf("node %d: id %d vs %d", v, got.ID(v), want.ID(v))
+		}
+		if !reflect.DeepEqual(got.Neighbors(v), want.Neighbors(v)) {
+			t.Fatalf("node %d: neighbors %v vs %v", v, got.Neighbors(v), want.Neighbors(v))
+		}
+	}
+}
+
+func TestApplyPatchBasic(t *testing.T) {
+	g := Ring(6) // edges (0,1)..(4,5),(0,5)
+	ng, changed, err := g.ApplyPatch(Patch{
+		Insert: [][2]int{{2, 0}, {3, 5}}, // unoriented input accepted
+		Delete: [][2]int{{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, ng, rebuildWith(t, g, Patch{Insert: [][2]int{{0, 2}, {3, 5}}, Delete: [][2]int{{1, 2}}}))
+	if want := []int{0, 1, 2, 3, 5}; !reflect.DeepEqual(changed, want) {
+		t.Fatalf("changed = %v, want %v", changed, want)
+	}
+	// The receiver is untouched.
+	if g.M() != 6 || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Fatalf("ApplyPatch mutated its receiver: %v", g.Edges())
+	}
+}
+
+func TestApplyPatchIdempotent(t *testing.T) {
+	g := Line(5)
+	p := Patch{
+		Insert: [][2]int{{0, 1}, {0, 4}, {0, 4}}, // existing edge + duplicate listing
+		Delete: [][2]int{{2, 4}},                 // absent edge
+	}
+	ng, changed, err := g.ApplyPatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 4}; !reflect.DeepEqual(changed, want) {
+		t.Fatalf("changed = %v, want %v (no-ops must not count)", changed, want)
+	}
+	sameGraph(t, ng, rebuildWith(t, g, p))
+	// Applying the same patch again changes nothing.
+	again, changed2, err := ng.ApplyPatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed2) != 0 {
+		t.Fatalf("second application changed %v, want nothing", changed2)
+	}
+	sameGraph(t, again, ng)
+}
+
+func TestApplyPatchRejectsMalformed(t *testing.T) {
+	g := Ring(4)
+	cases := []Patch{
+		{Insert: [][2]int{{1, 1}}},                           // self-loop
+		{Delete: [][2]int{{0, 9}}},                           // out of range
+		{Insert: [][2]int{{-1, 2}}},                          // negative index
+		{Insert: [][2]int{{1, 3}}, Delete: [][2]int{{3, 1}}}, // contradictory
+	}
+	for i, p := range cases {
+		if _, _, err := g.ApplyPatch(p); err == nil {
+			t.Errorf("case %d: malformed patch accepted", i)
+		}
+	}
+}
+
+func TestApplyPatchPreservesIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ShuffleIDs(GNP(40, 0.1, rng), 200, rng)
+	ng, _, err := g.ApplyPatch(Patch{Insert: [][2]int{{0, 1}}, Delete: [][2]int{{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.D() != g.D() {
+		t.Fatalf("domain changed: %d vs %d", ng.D(), g.D())
+	}
+	for v := 0; v < g.N(); v++ {
+		if ng.ID(v) != g.ID(v) {
+			t.Fatalf("node %d: id changed %d -> %d", v, g.ID(v), ng.ID(v))
+		}
+	}
+}
+
+func TestApplyPatchRandomizedAgainstBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := GNP(30, 0.12, rng)
+	for trial := 0; trial < 60; trial++ {
+		var p Patch
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			u, v := rng.Intn(30), rng.Intn(30)
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				p.Insert = append(p.Insert, [2]int{u, v})
+			} else {
+				p.Delete = append(p.Delete, [2]int{u, v})
+			}
+		}
+		// Contradictory entries are rejected by design; skip those draws.
+		ng, changed, err := g.ApplyPatch(p)
+		if err != nil {
+			continue
+		}
+		sameGraph(t, ng, rebuildWith(t, g, p))
+		for _, v := range changed {
+			if v < 0 || v >= g.N() {
+				t.Fatalf("changed node %d out of range", v)
+			}
+		}
+		g = ng
+	}
+}

@@ -1,0 +1,78 @@
+package heal_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/heal"
+	"repro/internal/problem"
+	"repro/internal/runtime"
+	_ "repro/internal/tree"
+	"repro/internal/verify"
+)
+
+func TestSpecForResolvesRegisteredHeal(t *testing.T) {
+	for _, name := range []string{"mis", "matching", "vcolor", "tree"} {
+		d, err := problem.Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		spec, err := heal.SpecFor(d)
+		if err != nil {
+			t.Fatalf("%s: SpecFor: %v", name, err)
+		}
+		if spec.Verify == nil || spec.Carve == nil || spec.HealFactory == nil {
+			t.Fatalf("%s: SpecFor left machinery unset: %+v", name, spec)
+		}
+	}
+}
+
+func TestSpecForRejectsUnhealable(t *testing.T) {
+	d := &problem.Descriptor{Name: "bare"}
+	if _, err := heal.SpecFor(d); !errors.Is(err, runtime.ErrConfig) {
+		t.Fatalf("SpecFor(descriptor without Heal) = %v, want ErrConfig", err)
+	}
+}
+
+func TestWidenCarveGrowsResidualByHops(t *testing.T) {
+	g := graph.Line(9)
+	// Valid MIS on the line: alternate 1,0,1,0,... then knock out the center.
+	partial := make([]int, 9)
+	for v := range partial {
+		if v%2 == 0 {
+			partial[v] = 1
+		}
+	}
+	partial[4] = verify.Undecided
+	base, res0 := heal.WidenCarve(g, partial, 0, heal.CarveMIS)
+	if err := verify.MISPartialExtendable(g, base); err != nil {
+		t.Fatalf("hops=0 re-carve not extendable: %v", err)
+	}
+	prev := len(res0)
+	for hops := 1; hops <= 4; hops++ {
+		widened, res := heal.WidenCarve(g, partial, hops, heal.CarveMIS)
+		if err := verify.MISPartialExtendable(g, widened); err != nil {
+			t.Fatalf("hops=%d: widened carve not extendable: %v", hops, err)
+		}
+		if len(res) < prev {
+			t.Fatalf("hops=%d: residual shrank %d -> %d", hops, prev, len(res))
+		}
+		prev = len(res)
+	}
+	// One hop only reaches forced clean-up closures, which re-close; two hops
+	// reach the in-set justifications and genuinely grow the residual.
+	if _, res := heal.WidenCarve(g, partial, 2, heal.CarveMIS); len(res) <= len(res0) {
+		t.Fatalf("hops=2 residual %d did not grow beyond %d", len(res), len(res0))
+	}
+	// An empty residual stays empty: nothing to widen from.
+	full := make([]int, 9)
+	for v := range full {
+		if v%2 == 0 {
+			full[v] = 1
+		}
+	}
+	if _, res := heal.WidenCarve(g, full, 5, heal.CarveMIS); len(res) != 0 {
+		t.Fatalf("widening a complete solution produced residual %v", res)
+	}
+}

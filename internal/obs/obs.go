@@ -77,6 +77,20 @@ const (
 	EvEta EventType = "eta"
 	// EvMeta labels the run. Name = "problem/algorithm"; Text carries extras.
 	EvMeta EventType = "meta"
+	// EvSession marks dynamic-session lifecycle. Name = open | close;
+	// Value = node count (open) or applied batches (close); Aux = edge count
+	// (open) or total recovery rounds (close); Text = problem name.
+	EvSession EventType = "session"
+	// EvUpdate is one update batch's outcome in a dynamic session.
+	// Name = applied | duplicate | rejected; Node = batch sequence number;
+	// Value = update count; Aux = nodes whose adjacency actually changed;
+	// Err = rejection cause.
+	EvUpdate EventType = "update"
+	// EvRetry marks a failed incremental step escalating one rung on the
+	// degradation ladder. Name = the next rung (widen | full); Value = the
+	// 0-based attempt that failed; Err = the failure cause (an aborted run or
+	// an invalid healed output).
+	EvRetry EventType = "retry"
 	// EvTruncated marks a ring-buffer wrap: the recorder overwrote Value
 	// events before the oldest one it still holds. It is synthesized by
 	// Events() as the first returned event whenever the ring dropped

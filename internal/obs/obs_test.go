@@ -378,3 +378,46 @@ func TestAggregate(t *testing.T) {
 		t.Fatalf("round histogram = %+v", snap.Histograms)
 	}
 }
+
+func TestSummarizeAndAggregateSessionEvents(t *testing.T) {
+	events := []Event{
+		{Type: EvSession, Name: "open", Value: 100, Aux: 300, Text: "mis"},
+		{Type: EvUpdate, Name: "applied", Node: 1, Value: 4, Aux: 7},
+		{Type: EvUpdate, Name: "duplicate", Node: 1, Value: 4},
+		{Type: EvUpdate, Name: "applied", Node: 2, Value: 2, Aux: 3},
+		{Type: EvRetry, Name: "widen", Value: 0, Err: "no termination"},
+		{Type: EvRetry, Name: "full", Value: 1, Err: "invalid"},
+		{Type: EvUpdate, Name: "rejected", Node: 3, Value: 1, Err: "self-loop"},
+		{Type: EvSession, Name: "close", Value: 2, Aux: 9},
+	}
+	s := Summarize(events)
+	if s.Stream == nil {
+		t.Fatal("session events did not materialize a StreamSummary")
+	}
+	want := StreamSummary{Sessions: 1, Applied: 2, Duplicates: 1, Rejected: 1, Damaged: 10, Widened: 1, FullReruns: 1}
+	if *s.Stream != want {
+		t.Fatalf("stream summary = %+v, want %+v", *s.Stream, want)
+	}
+	var buf strings.Builder
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sessions: 1 open, batches applied=2 duplicate=1 rejected=1 damaged=10 escalations: widen=1 full=1") {
+		t.Fatalf("WriteText missing session line:\n%s", buf.String())
+	}
+	reg := Aggregate(events)
+	checks := map[string]int64{
+		"dgp_sessions_total":                             1,
+		`dgp_session_batches_total{outcome="applied"}`:   2,
+		`dgp_session_batches_total{outcome="duplicate"}`: 1,
+		`dgp_session_batches_total{outcome="rejected"}`:  1,
+		"dgp_session_damaged_nodes_total":                10,
+		`dgp_session_retries_total{rung="widen"}`:        1,
+		`dgp_session_retries_total{rung="full"}`:         1,
+	}
+	for name, wantV := range checks {
+		if got := reg.Counter(name).Value(); got != wantV {
+			t.Fatalf("%s = %d, want %d", name, got, wantV)
+		}
+	}
+}

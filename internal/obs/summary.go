@@ -79,6 +79,23 @@ type RunSummary struct {
 	Err string `json:"err,omitempty"`
 }
 
+// StreamSummary aggregates the dynamic-session events of a trace: how the
+// update stream was consumed and how often the retry/degradation ladder
+// fired.
+type StreamSummary struct {
+	// Sessions counts session-open events.
+	Sessions int `json:"sessions"`
+	// Applied, Duplicates, and Rejected count update-batch outcomes.
+	Applied    int `json:"applied,omitempty"`
+	Duplicates int `json:"duplicates,omitempty"`
+	Rejected   int `json:"rejected,omitempty"`
+	// Damaged sums the nodes whose adjacency the applied batches changed.
+	Damaged int64 `json:"damaged,omitempty"`
+	// Widened and FullReruns count retry-ladder escalations by rung.
+	Widened    int `json:"widened,omitempty"`
+	FullReruns int `json:"full_reruns,omitempty"`
+}
+
 // Summary is the structured digest of one trace.
 type Summary struct {
 	// Meta is the "problem/algorithm" label from the meta event, if present.
@@ -95,6 +112,9 @@ type Summary struct {
 	Etas []EtaPoint `json:"etas,omitempty"`
 	// Marks are wrapper-level phase markers (heal: primary/valid/...).
 	Marks []string `json:"marks,omitempty"`
+	// Stream aggregates dynamic-session events; nil when the trace holds
+	// none.
+	Stream *StreamSummary `json:"stream,omitempty"`
 	// Events is the total event count summarized.
 	Events int `json:"events"`
 	// Truncated is the number of events the recorder's ring overwrote before
@@ -214,6 +234,36 @@ func Summarize(events []Event) Summary {
 			s.Etas = append(s.Etas, EtaPoint{Run: ri, Name: e.Name, Value: e.Value, Text: e.Text})
 		case EvPhase:
 			s.Marks = append(s.Marks, e.Name)
+		case EvSession:
+			if s.Stream == nil {
+				s.Stream = &StreamSummary{}
+			}
+			if e.Name == "open" {
+				s.Stream.Sessions++
+			}
+		case EvUpdate:
+			if s.Stream == nil {
+				s.Stream = &StreamSummary{}
+			}
+			switch e.Name {
+			case "applied":
+				s.Stream.Applied++
+				s.Stream.Damaged += e.Aux
+			case "duplicate":
+				s.Stream.Duplicates++
+			case "rejected":
+				s.Stream.Rejected++
+			}
+		case EvRetry:
+			if s.Stream == nil {
+				s.Stream = &StreamSummary{}
+			}
+			switch e.Name {
+			case "widen":
+				s.Stream.Widened++
+			case "full":
+				s.Stream.FullReruns++
+			}
 		}
 	}
 	return s
@@ -285,6 +335,14 @@ func (s Summary) WriteText(w io.Writer) error {
 	if len(s.Marks) > 0 {
 		bw.printf("marks: %s\n", strings.Join(s.Marks, " -> "))
 	}
+	if st := s.Stream; st != nil {
+		bw.printf("sessions: %d open, batches applied=%d duplicate=%d rejected=%d damaged=%d",
+			st.Sessions, st.Applied, st.Duplicates, st.Rejected, st.Damaged)
+		if st.Widened > 0 || st.FullReruns > 0 {
+			bw.printf(" escalations: widen=%d full=%d", st.Widened, st.FullReruns)
+		}
+		bw.printf("\n")
+	}
 	return bw.err
 }
 
@@ -341,6 +399,17 @@ func Aggregate(events []Event) *Registry {
 			reg.Gauge("dgp_heal_demoted").Set(float64(e.Aux))
 		case EvEta:
 			reg.Gauge("dgp_eta{phase=\"" + e.Name + "\"}").Set(float64(e.Value))
+		case EvSession:
+			if e.Name == "open" {
+				reg.Counter("dgp_sessions_total").Inc()
+			}
+		case EvUpdate:
+			reg.Counter("dgp_session_batches_total{outcome=\"" + e.Name + "\"}").Inc()
+			if e.Name == "applied" {
+				reg.Counter("dgp_session_damaged_nodes_total").Add(e.Aux)
+			}
+		case EvRetry:
+			reg.Counter("dgp_session_retries_total{rung=\"" + e.Name + "\"}").Inc()
 		}
 	}
 	return reg

@@ -1,0 +1,108 @@
+package fault
+
+import "math/rand"
+
+// This file extends the chaos model from the message layer to the update
+// stream of a dynamic session: the adversary now also perturbs the sequence
+// of edge-update batches a session consumes — dropping, duplicating, and
+// reordering whole batches — and marks individual incremental steps to run
+// under engine-level chaos (the Policy machinery above). Like Policy, a
+// StreamPolicy is fully seeded: one seed reproduces one exact perturbation
+// plan, and because the plan is computed outside the engine it is identical
+// regardless of engine mode. The dynamic session layer consumes the plan
+// abstractly (batch indices, not batch contents), which keeps this package
+// free of session types.
+
+// StreamPolicy describes chaos on an ordered update-batch stream. All
+// probabilities are per-event in [0, 1].
+type StreamPolicy struct {
+	// Seed drives every decision; the same StreamPolicy reproduces the same
+	// plan exactly.
+	Seed int64
+	// Drop is the probability a batch is never delivered.
+	Drop float64
+	// Duplicate is the probability a delivered batch is delivered twice
+	// (back to back before reordering).
+	Duplicate float64
+	// Reorder is the probability a delivered slot is swapped with its
+	// successor, modelling out-of-order arrival.
+	Reorder float64
+	// StepFault is the probability an individual delivered slot's
+	// incremental run executes under engine chaos (Step).
+	StepFault float64
+	// Step is the engine fault policy template for faulted steps. Its Seed
+	// field is ignored: each faulted slot derives its own seed from the
+	// stream seed so that independent steps draw independent schedules.
+	Step Policy
+}
+
+// StreamSlot is one delivery in a perturbed stream plan.
+type StreamSlot struct {
+	// Batch indexes the original (unperturbed) batch sequence.
+	Batch int
+	// Duplicate marks the second copy of a duplicated batch.
+	Duplicate bool
+	// Step, when non-nil, is the seeded engine fault policy the slot's
+	// incremental run must execute under.
+	Step *Policy
+}
+
+// StreamStats counts the perturbations a plan contains.
+type StreamStats struct {
+	// Batches is the length of the original stream.
+	Batches int
+	// Dropped counts batches never delivered.
+	Dropped int
+	// Duplicated counts batches delivered twice.
+	Duplicated int
+	// Reordered counts adjacent slot swaps.
+	Reordered int
+	// FaultedSteps counts slots whose incremental run executes under engine
+	// chaos.
+	FaultedSteps int
+}
+
+// PlanStream perturbs the delivery of n ordered batches under the policy
+// and returns the delivery plan: which original batch arrives in which
+// position, which arrivals are duplicates, and which steps run under engine
+// chaos. Decisions draw from a single seeded PRNG in a fixed order (drop
+// and duplicate per batch, then reorder per slot, then step faults per
+// slot), so a policy and a length determine the plan exactly.
+func PlanStream(p StreamPolicy, n int) ([]StreamSlot, StreamStats) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	stats := StreamStats{Batches: n}
+	slots := make([]StreamSlot, 0, n)
+	for i := 0; i < n; i++ {
+		if p.Drop > 0 && rng.Float64() < p.Drop {
+			stats.Dropped++
+			continue
+		}
+		slots = append(slots, StreamSlot{Batch: i})
+		if p.Duplicate > 0 && rng.Float64() < p.Duplicate {
+			slots = append(slots, StreamSlot{Batch: i, Duplicate: true})
+			stats.Duplicated++
+		}
+	}
+	if p.Reorder > 0 {
+		for i := 0; i+1 < len(slots); i++ {
+			if rng.Float64() < p.Reorder {
+				slots[i], slots[i+1] = slots[i+1], slots[i]
+				stats.Reordered++
+				i++ // a swapped pair is settled; don't cascade the same draw
+			}
+		}
+	}
+	if p.StepFault > 0 {
+		for i := range slots {
+			if rng.Float64() < p.StepFault {
+				pol := p.Step
+				// Large odd stride keeps per-slot schedules disjoint while
+				// remaining a pure function of (stream seed, slot index).
+				pol.Seed = p.Seed + int64(i+1)*1_000_003
+				slots[i].Step = &pol
+				stats.FaultedSteps++
+			}
+		}
+	}
+	return slots, stats
+}

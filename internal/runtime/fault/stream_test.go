@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanStreamDeterministic(t *testing.T) {
+	p := StreamPolicy{
+		Seed:      42,
+		Drop:      0.2,
+		Duplicate: 0.3,
+		Reorder:   0.25,
+		StepFault: 0.5,
+		Step:      Policy{Drop: 0.4, Crash: 0.1},
+	}
+	a, as := PlanStream(p, 40)
+	b, bs := PlanStream(p, 40)
+	if !reflect.DeepEqual(a, b) || as != bs {
+		t.Fatalf("same policy produced different plans:\n%v %+v\n%v %+v", a, as, b, bs)
+	}
+	c, _ := PlanStream(StreamPolicy{Seed: 43, Drop: 0.2, Duplicate: 0.3, Reorder: 0.25}, 40)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestPlanStreamZeroPolicyIsIdentity(t *testing.T) {
+	slots, stats := PlanStream(StreamPolicy{Seed: 7}, 10)
+	if len(slots) != 10 {
+		t.Fatalf("got %d slots, want 10", len(slots))
+	}
+	for i, s := range slots {
+		if s.Batch != i || s.Duplicate || s.Step != nil {
+			t.Fatalf("slot %d perturbed under the zero policy: %+v", i, s)
+		}
+	}
+	if stats != (StreamStats{Batches: 10}) {
+		t.Fatalf("zero policy produced stats %+v", stats)
+	}
+}
+
+func TestPlanStreamStatsMatchPlan(t *testing.T) {
+	p := StreamPolicy{
+		Seed:      9,
+		Drop:      0.3,
+		Duplicate: 0.4,
+		StepFault: 0.6,
+		Step:      Policy{Drop: 0.2},
+	}
+	slots, stats := PlanStream(p, 200)
+	delivered := make(map[int]int)
+	dups, faulted := 0, 0
+	for _, s := range slots {
+		delivered[s.Batch]++
+		if s.Duplicate {
+			dups++
+		}
+		if s.Step != nil {
+			faulted++
+			if s.Step.Seed == 0 || s.Step.Drop != p.Step.Drop {
+				t.Fatalf("faulted slot carries wrong policy: %+v", s.Step)
+			}
+		}
+	}
+	if dups != stats.Duplicated {
+		t.Fatalf("duplicate slots %d vs stats %d", dups, stats.Duplicated)
+	}
+	if faulted != stats.FaultedSteps {
+		t.Fatalf("faulted slots %d vs stats %d", faulted, stats.FaultedSteps)
+	}
+	if got := 200 - len(delivered); got != stats.Dropped {
+		t.Fatalf("dropped batches %d vs stats %d", got, stats.Dropped)
+	}
+	for b, c := range delivered {
+		if c > 2 {
+			t.Fatalf("batch %d delivered %d times", b, c)
+		}
+	}
+	// Distinct faulted slots must draw distinct engine schedules.
+	seeds := make(map[int64]bool)
+	for _, s := range slots {
+		if s.Step != nil {
+			if seeds[s.Step.Seed] {
+				t.Fatalf("duplicate derived step seed %d", s.Step.Seed)
+			}
+			seeds[s.Step.Seed] = true
+		}
+	}
+}
+
+func TestPlanStreamReorderKeepsMultiset(t *testing.T) {
+	p := StreamPolicy{Seed: 3, Reorder: 0.5}
+	slots, stats := PlanStream(p, 50)
+	if len(slots) != 50 {
+		t.Fatalf("reorder changed slot count: %d", len(slots))
+	}
+	if stats.Reordered == 0 {
+		t.Fatal("expected at least one swap at rate 0.5")
+	}
+	seen := make([]bool, 50)
+	inOrder := true
+	for i, s := range slots {
+		if seen[s.Batch] {
+			t.Fatalf("batch %d delivered twice without duplication", s.Batch)
+		}
+		seen[s.Batch] = true
+		if s.Batch != i {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("plan with swaps is still in order")
+	}
+}

@@ -258,42 +258,15 @@ func traceRunMeta(d *problem.Descriptor, alg string, g *Graph, aux any, preds an
 	}
 }
 
-// healSpecFor assembles the engine-level healing spec from a descriptor's
-// registered recovery machinery: the carved partial solution is extended by
-// the registered healing algorithm's Simple Template (the problem's own
-// "simple" variant unless the descriptor redirects, as the tree problem does
-// to the general MIS template).
+// healSpecFor resolves a descriptor's registered recovery machinery into the
+// engine-level healing spec. The resolution itself lives in heal.SpecFor so
+// the registry run helpers and the dynamic session supervisor share it.
 func healSpecFor(d *problem.Descriptor) (heal.Spec, error) {
-	h := d.Heal
-	if h == nil {
-		return heal.Spec{}, fmt.Errorf("repro: Options.Recover is not supported for %s", d.Name)
-	}
-	healProblem := h.HealProblem
-	if healProblem == "" {
-		healProblem = d.Name
-	}
-	healAlg := h.HealAlg
-	if healAlg == "" {
-		healAlg = "simple"
-	}
-	hd, err := problem.Get(healProblem)
-	if err != nil {
-		return heal.Spec{}, err
-	}
-	a, err := hd.Algorithm(healAlg)
-	if err != nil {
-		return heal.Spec{}, err
-	}
-	factory, err := a.Build(problem.BuildCtx{})
+	spec, err := heal.SpecFor(d)
 	if err != nil {
 		return heal.Spec{}, fmt.Errorf("repro: %w", err)
 	}
-	return heal.Spec{
-		Verify:        h.Verify,
-		Carve:         h.Carve,
-		HealFactory:   factory,
-		UndecidedPred: h.UndecidedPred,
-	}, nil
+	return spec, nil
 }
 
 // RunProblemWithRecovery executes the problem's Simple Template on g under

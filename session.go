@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/runtime/fault"
+)
+
+// Dynamic-session types re-exported for library users; see internal/dynamic
+// for the detailed semantics.
+type (
+	// EdgeUpdate is one edge mutation (insert or delete) by node index.
+	EdgeUpdate = dynamic.Update
+	// UpdateBatch is one atomically-applied group of edge updates,
+	// deduplicated by sequence number.
+	UpdateBatch = dynamic.Batch
+	// SessionStep describes how one delivered batch was absorbed: outcome,
+	// damage, residual, degradation-ladder attempts, and recovery cost.
+	SessionStep = dynamic.StepReport
+	// SessionStats accumulates a session's lifetime counters.
+	SessionStats = dynamic.Stats
+	// StreamPolicy is seeded chaos on an update-batch stream: drop,
+	// duplicate, and reorder probabilities plus per-step engine chaos.
+	StreamPolicy = fault.StreamPolicy
+	// StreamStats counts the perturbations a stream plan contained.
+	StreamStats = fault.StreamStats
+)
+
+// Edge-update kinds.
+const (
+	// EdgeInsert adds an edge (a no-op if present).
+	EdgeInsert = dynamic.Insert
+	// EdgeDelete removes an edge (a no-op if absent).
+	EdgeDelete = dynamic.Delete
+)
+
+// ErrSessionClosed is returned by operations on a closed session.
+var ErrSessionClosed = dynamic.ErrClosed
+
+// SessionOptions configures a dynamic session.
+type SessionOptions struct {
+	// Parallel selects the worker-pool engine for every run in the session.
+	Parallel bool
+	// MaxRetries bounds the degradation ladder (0 = default 2: one widening
+	// rung, then a from-scratch re-run).
+	MaxRetries int
+	// StepMaxRounds caps each incremental attempt's rounds (0 = engine
+	// default); the final from-scratch rung always runs uncapped.
+	StepMaxRounds int
+	// StepDeadline bounds each incremental attempt's per-round wall time.
+	StepDeadline time.Duration
+	// Adversary, when non-nil, supplies the fault adversary for incremental
+	// attempt `attempt` of step `step`; return nil for a fault-free attempt.
+	Adversary func(step, attempt int) Adversary
+	// Trace, when non-nil, records session lifecycle, update, retry, and
+	// engine events.
+	Trace *TraceRecorder
+}
+
+// Session owns a mutable graph and a continuously valid solution on it.
+// Batched edge updates applied between runs are absorbed by self-healing:
+// the previous output is re-encoded as the next run's prediction, so
+// recovery rounds scale with the damage of the batch, not with the graph.
+// Not safe for concurrent use.
+type Session struct {
+	s *dynamic.Session
+}
+
+// NewSession opens a dynamic session for a registered problem on g, running
+// the problem's Simple Template prediction-free for the initial valid
+// output. Supported for every problem with healing machinery
+// (ProblemInfo.CanHeal): MIS, matching, vertex coloring, and tree MIS.
+func NewSession(g *Graph, problemName string, opts SessionOptions) (*Session, error) {
+	s, err := dynamic.Open(g, dynamic.Config{
+		Problem:       problemName,
+		Parallel:      opts.Parallel,
+		MaxRetries:    opts.MaxRetries,
+		StepMaxRounds: opts.StepMaxRounds,
+		StepDeadline:  opts.StepDeadline,
+		Adversary:     opts.Adversary,
+		Trace:         opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// Apply delivers one batch: deduplicate, patch the graph, heal the output.
+// Malformed batches are rejected and skipped (see SessionStep.Outcome); only
+// a failed from-scratch rung or a misconfiguration is an error.
+func (s *Session) Apply(b UpdateBatch) (SessionStep, error) { return s.s.Apply(b) }
+
+// ApplyStream delivers batches under the stream-chaos policy's seeded plan
+// (nil delivers the stream verbatim). Reports are in delivery order.
+func (s *Session) ApplyStream(batches []UpdateBatch, sp *StreamPolicy) ([]SessionStep, StreamStats, error) {
+	return s.s.ApplyStream(batches, sp)
+}
+
+// Graph returns the session's current (immutable) graph.
+func (s *Session) Graph() *Graph { return s.s.Graph() }
+
+// Output returns a copy of the current valid output vector.
+func (s *Session) Output() []int { return s.s.Output() }
+
+// Stats returns the session's lifetime counters so far.
+func (s *Session) Stats() SessionStats { return s.s.Stats() }
+
+// Close ends the session and returns the final counters.
+func (s *Session) Close() SessionStats { return s.s.Close() }
+
+// SessionReport is the outcome of RunSession.
+type SessionReport struct {
+	// Steps are the per-delivery reports, in delivery order.
+	Steps []SessionStep
+	// Stream counts the chaos perturbations of the delivery plan.
+	Stream StreamStats
+	// Stats are the session's lifetime counters.
+	Stats SessionStats
+	// Output is the final valid output vector on FinalGraph.
+	Output []int
+	// FinalGraph is the graph after every applied batch.
+	FinalGraph *Graph
+}
+
+// RunSession opens a session, streams the batches through it (under the
+// optional stream-chaos policy), and closes it — the one-shot form of the
+// Session API.
+func RunSession(g *Graph, problemName string, batches []UpdateBatch, sp *StreamPolicy, opts SessionOptions) (*SessionReport, error) {
+	s, err := NewSession(g, problemName, opts)
+	if err != nil {
+		return nil, err
+	}
+	steps, stream, err := s.ApplyStream(batches, sp)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionReport{
+		Steps:      steps,
+		Stream:     stream,
+		Stats:      s.Close(),
+		Output:     s.Output(),
+		FinalGraph: s.Graph(),
+	}, nil
+}
