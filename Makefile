@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke dynamic-smoke all
+.PHONY: build test race lint lint-fixtures fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke dynamic-smoke all
 
 all: build lint test
 
@@ -19,9 +19,17 @@ list:
 
 # Domain analyzers (internal/analysis, driven by cmd/dgp-lint): map-order
 # determinism, seeded randomness, machine purity, CONGEST payload sizing,
-# and sentinel error wrapping. Exits non-zero on any finding.
+# sentinel error wrapping, plus the dataflow checks — inbox slab aliasing,
+# the //dgp:hotpath allocation gate, obs emission ordering, and the dynamic
+# session Seq-ledger discipline. Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/dgp-lint ./...
+
+# The analyzers' own golden fixtures (internal/analysis/testdata), run
+# through the stdlib analysistest clone: every diagnostic must match a
+# `// want` comment and vice versa.
+lint-fixtures:
+	$(GO) test -count=1 ./internal/analysis/...
 
 fmt:
 	gofmt -l -w .

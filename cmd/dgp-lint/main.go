@@ -44,8 +44,9 @@ func realMain(args []string) int {
 	}
 	switch {
 	case *versionFlag != "":
-		// The go command hashes this line into its action cache key.
-		fmt.Println("dgp-lint version v1.0.0")
+		// The go command hashes this line into its action cache key; bump it
+		// whenever analyzer behavior changes so cached vet verdicts go stale.
+		fmt.Println("dgp-lint version v2.0.0")
 		return 0
 	case *flagsFlag:
 		fmt.Println("[]")

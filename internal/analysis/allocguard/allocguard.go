@@ -1,0 +1,581 @@
+// Package allocguard turns the engine's 0-allocs/round bench guard into a
+// compile-time gate. A function annotated with a
+//
+//	//dgp:hotpath
+//
+// doc-comment line (the round loop, the Broadcast fast path, the frontier
+// advance) must not contain allocation-inducing constructs:
+//
+//   - make of a slice, map, or channel, and new(T);
+//   - map and slice composite literals, and &T{...} (heap candidate);
+//   - append without preallocated-cap evidence — self-append to a field
+//     (persistent amortized buffer) and self-append to a local whose
+//     def-use chain shows a [:0] truncation or make-with-cap are the
+//     recognized-safe shapes;
+//   - function literals that capture variables (closure allocation),
+//     unless deferred or immediately invoked, and go statements;
+//   - calls into fmt and errors, string concatenation, and
+//     string<->[]byte conversions;
+//   - interface boxing: a concrete non-pointer-shaped value (basic,
+//     string, struct, array, slice) assigned, passed, returned, or stored
+//     into an interface-typed slot.
+//
+// Cold exits are exempt: a branch whose block ends by returning or
+// panicking, or that is guarded by recover(), is an error/abort path and
+// may allocate — that is where the engine builds its wrapped sentinel
+// errors. Anything deliberate beyond that carries a
+// //lint:allow allocguard (reason) directive.
+package allocguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the allocguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocguard",
+	Doc: "//dgp:hotpath functions must be allocation-free at steady state: no " +
+		"make/new, map or slice literals, unbounded appends, capturing closures, " +
+		"fmt/errors calls, or interface boxing outside cold error exits",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	units := dataflow.Functions(pass.Files)
+	roots := map[*dataflow.Func][]*dataflow.Func{}
+	for _, u := range units {
+		r := u
+		for r.Parent != nil {
+			r = r.Parent
+		}
+		roots[r] = append(roots[r], u)
+	}
+	for r, us := range roots {
+		if r.Decl == nil || !hotpath(r.Decl) {
+			continue
+		}
+		g := &guard{
+			pass: pass,
+			name: r.Decl.Name.Name,
+			cold: coldRegions(r.Decl.Body),
+			du:   dataflow.NewDefUse(pass.TypesInfo, r.Decl.Body),
+		}
+		g.findSafeLits(r.Decl.Body)
+		for _, u := range us {
+			g.checkUnit(u)
+		}
+	}
+	return nil
+}
+
+// hotpath reports whether fd carries the //dgp:hotpath annotation.
+func hotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "dgp:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// interval is a cold half-open source region.
+type interval struct{ lo, hi token.Pos }
+
+// guard checks one annotated declaration and its nested literals.
+type guard struct {
+	pass     *analysis.Pass
+	name     string
+	cold     []interval
+	du       *dataflow.DefUse
+	safeLits map[*ast.FuncLit]bool
+	handled  map[*ast.CallExpr]bool // appends already judged at their assignment
+}
+
+// coldRegions returns the regions exempt from the allocation gate: blocks
+// that end by returning or panicking (error exits) and recover()-guarded
+// branches (panic containment).
+func coldRegions(body ast.Node) []interval {
+	var out []interval
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if exits(n.Body.List) || hasRecover(n.Init) || hasRecover(n.Cond) {
+				out = append(out, interval{n.Body.Pos(), n.Body.End()})
+			}
+			if els, ok := n.Else.(*ast.BlockStmt); ok && exits(els.List) {
+				out = append(out, interval{els.Pos(), els.End()})
+			}
+		case *ast.CaseClause:
+			if exits(n.Body) {
+				out = append(out, interval{n.Pos(), n.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exits reports whether the statement list ends by leaving the function.
+func exits(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := dataflow.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// hasRecover reports whether n contains a call to the recover builtin.
+func hasRecover(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := dataflow.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (g *guard) isCold(pos token.Pos) bool {
+	for _, iv := range g.cold {
+		if iv.lo <= pos && pos < iv.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *guard) flag(pos token.Pos, format string, args ...any) {
+	if g.isCold(pos) {
+		return
+	}
+	g.pass.Reportf(pos, "hot path %s: %s", g.name, fmt.Sprintf(format, args...))
+}
+
+// findSafeLits records literals that run within the call: deferred and
+// immediately invoked.
+func (g *guard) findSafeLits(body ast.Node) {
+	g.safeLits = map[*ast.FuncLit]bool{}
+	g.handled = map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := dataflow.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				g.safeLits[lit] = true
+			}
+		case *ast.CallExpr:
+			if lit, ok := dataflow.Unparen(n.Fun).(*ast.FuncLit); ok {
+				g.safeLits[lit] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkUnit walks one unit's own statements.
+func (g *guard) checkUnit(u *dataflow.Func) {
+	results := resultTypes(g.pass.TypesInfo, u)
+	dataflow.InspectOwn(u, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			g.checkAssign(n)
+		case *ast.CallExpr:
+			g.checkCall(n)
+		case *ast.CompositeLit:
+			g.checkComposite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := dataflow.Unparen(n.X).(*ast.CompositeLit); ok {
+					g.flag(n.Pos(), "&composite literal is a heap allocation; hoist it into state")
+				}
+			}
+		case *ast.GoStmt:
+			g.flag(n.Pos(), "starts a goroutine (allocates); use the persistent worker pool")
+		case *ast.FuncLit:
+			if !g.safeLits[n] {
+				if obj := g.captures(n); obj != nil {
+					g.flag(n.Pos(), "closure captures %s (allocates); hoist the function or pass state explicitly", obj.Name())
+				}
+			}
+		case *ast.BinaryExpr:
+			g.checkConcat(n)
+		case *ast.ReturnStmt:
+			g.checkReturn(n, results)
+		}
+		return true
+	})
+}
+
+// checkAssign judges appends in context (self-append is the reuse idiom)
+// and interface boxing on the assignment.
+func (g *guard) checkAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		rhs := s.Rhs[i]
+		if call, ok := dataflow.Unparen(rhs).(*ast.CallExpr); ok && g.isBuiltin(call, "append") {
+			g.handled[call] = true
+			g.checkAppend(call, exprPath(lhs))
+		}
+		g.checkBox(typeOf(g.pass.TypesInfo, lhs), rhs)
+	}
+}
+
+// checkCall flags allocating builtins and library calls, then interface
+// boxing of arguments.
+func (g *guard) checkCall(call *ast.CallExpr) {
+	info := g.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		g.checkConversion(call, tv.Type)
+		return
+	}
+	if id, ok := dataflow.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil && obj.Parent() == types.Universe {
+			g.checkBuiltin(call, id.Name)
+			return
+		}
+	}
+	if pkg, fn := pkgCall(info, call); pkg == "fmt" || pkg == "errors" {
+		g.flag(call.Pos(), "calls %s.%s, which allocates; hot paths report via preallocated state", pkg, fn)
+		return // boxing of the arguments is subsumed
+	}
+	g.checkArgBoxing(call)
+}
+
+func (g *guard) checkBuiltin(call *ast.CallExpr, name string) {
+	switch name {
+	case "make":
+		if len(call.Args) == 0 {
+			return
+		}
+		switch typeOf(g.pass.TypesInfo, call.Args[0]).Underlying().(type) {
+		case *types.Map:
+			g.flag(call.Pos(), "make(map) allocates; hoist the map into state and reuse it")
+		case *types.Chan:
+			g.flag(call.Pos(), "make(chan) allocates; hoist the channel into state")
+		case *types.Slice:
+			g.flag(call.Pos(), "make(slice) allocates; hoist the buffer into state and truncate-reuse it")
+		}
+	case "new":
+		g.flag(call.Pos(), "new(T) allocates; hoist the value into state")
+	case "append":
+		if !g.handled[call] {
+			g.checkAppend(call, "")
+		}
+	}
+}
+
+// checkAppend enforces the preallocated-cap evidence rule. lhsPath is the
+// dotted path of the assignment destination, "" when the append result is
+// used some other way.
+func (g *guard) checkAppend(call *ast.CallExpr, lhsPath string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := call.Args[0]
+	basePath := exprPath(base)
+	if lhsPath != "" && lhsPath == basePath {
+		if strings.Contains(basePath, ".") {
+			return // self-append to a field: persistent amortized buffer
+		}
+		if id, ok := dataflow.Unparen(base).(*ast.Ident); ok {
+			if g.capEvidence(g.pass.TypesInfo.ObjectOf(id), nil, 0) {
+				return // local carved with [:0] or make-with-cap
+			}
+		}
+	}
+	g.flag(call.Pos(), "append without preallocated-cap evidence; truncate-reuse a state buffer ([:0]) or size it up front")
+}
+
+// capEvidence reports whether obj's def-use chain shows a zero-length
+// truncation ([:0]) or a make with explicit capacity.
+func (g *guard) capEvidence(obj types.Object, seen map[types.Object]bool, depth int) bool {
+	if obj == nil || depth > 4 || seen[obj] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Object]bool{}
+	}
+	seen[obj] = true
+	for _, def := range g.du.Defs(obj) {
+		switch def := dataflow.Unparen(def).(type) {
+		case *ast.SliceExpr:
+			if isZero(g.pass.TypesInfo, def.High) {
+				return true
+			}
+		case *ast.CallExpr:
+			if g.isBuiltin(def, "make") && len(def.Args) == 3 {
+				return true
+			}
+			if g.isBuiltin(def, "append") && len(def.Args) > 0 {
+				if id, ok := dataflow.Unparen(def.Args[0]).(*ast.Ident); ok {
+					if g.capEvidence(g.pass.TypesInfo.ObjectOf(id), seen, depth+1) {
+						return true
+					}
+				}
+			}
+		case *ast.Ident:
+			if g.capEvidence(g.pass.TypesInfo.ObjectOf(def), seen, depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (g *guard) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := dataflow.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := g.pass.TypesInfo.ObjectOf(id)
+	return obj != nil && obj.Parent() == types.Universe
+}
+
+func (g *guard) checkComposite(cl *ast.CompositeLit) {
+	tv, ok := g.pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		g.flag(cl.Pos(), "map literal allocates; hoist the map into state")
+	case *types.Slice:
+		g.flag(cl.Pos(), "slice literal allocates; hoist the buffer into state")
+	}
+}
+
+func (g *guard) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := typeOf(g.pass.TypesInfo, call.Args[0])
+	if src == nil {
+		return
+	}
+	if (isString(target) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(target) && isString(src)) {
+		g.flag(call.Pos(), "string<->slice conversion copies its data (allocates)")
+	}
+}
+
+func (g *guard) checkConcat(e *ast.BinaryExpr) {
+	if e.Op != token.ADD {
+		return
+	}
+	tv, ok := g.pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constant folding is free
+		return
+	}
+	if isString(tv.Type) {
+		g.flag(e.Pos(), "string concatenation allocates; stage bytes in a reused buffer")
+	}
+}
+
+// checkArgBoxing flags concrete values passed into interface parameters.
+func (g *guard) checkArgBoxing(call *ast.CallExpr) {
+	if call.Ellipsis.IsValid() {
+		return // spread passes an existing slice, no per-element boxing
+	}
+	tv, ok := g.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		g.checkBox(pt, arg)
+	}
+}
+
+func (g *guard) checkReturn(s *ast.ReturnStmt, results []types.Type) {
+	if len(s.Results) != len(results) {
+		return
+	}
+	for i, res := range s.Results {
+		g.checkBox(results[i], res)
+	}
+}
+
+// checkBox flags e when storing it into a slot of type target boxes a
+// concrete value into an interface.
+func (g *guard) checkBox(target types.Type, e ast.Expr) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	src := typeOf(g.pass.TypesInfo, e)
+	if src == nil || !boxes(src) {
+		return
+	}
+	g.flag(e.Pos(), "boxes a %s into an interface (allocates); keep the concrete type or preallocate", src.String())
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: pointer-shaped kinds (pointers, channels, funcs, maps,
+// unsafe pointers) and interfaces themselves do not.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.Invalid
+	case *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// captures returns a variable n closes over: declared outside the
+// literal, not package-scoped, not a struct field.
+func (g *guard) captures(lit *ast.FuncLit) types.Object {
+	info := g.pass.TypesInfo
+	var found types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own local or parameter
+		}
+		if scope := v.Parent(); scope == types.Universe || scope == g.pass.Pkg.Scope() {
+			return true // package-scoped: no capture
+		}
+		found = v
+		return false
+	})
+	return found
+}
+
+// resultTypes returns u's declared result types in order, nil when the
+// signature could not be resolved.
+func resultTypes(info *types.Info, u *dataflow.Func) []types.Type {
+	ft := u.FuncType()
+	if ft.Results == nil {
+		return nil
+	}
+	var out []types.Type
+	for _, field := range ft.Results.List {
+		t := info.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// typeOf resolves an expression or defining identifier to its type.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	e = dataflow.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// pkgCall resolves pkg.Fn() calls to their package path and name.
+func pkgCall(info *types.Info, call *ast.CallExpr) (string, string) {
+	sel, ok := dataflow.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// exprPath renders ident/selector chains as dotted paths ("st.buf"), ""
+// for anything else.
+func exprPath(e ast.Expr) string {
+	switch e := dataflow.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// isZero reports whether e is the constant 0.
+func isZero(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

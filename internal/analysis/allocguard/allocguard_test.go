@@ -1,0 +1,12 @@
+package allocguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allocguard"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAllocGuard(t *testing.T) {
+	analysistest.Run(t, "../testdata", allocguard.Analyzer, "fixtures/hotpath")
+}

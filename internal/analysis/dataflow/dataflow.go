@@ -1,0 +1,269 @@
+// Package dataflow is the light intraprocedural layer under the dgp-lint
+// dataflow analyzers (slabalias, allocguard, emitorder, seqmono). It stays
+// deliberately short of SSA: def-use chains over the go/types-resolved AST,
+// a slice-alias taint closure, and a package-level function-value flow
+// solver (execflow.go) are enough to answer the questions the suite asks —
+// "what may this variable hold", "does this value view that backing
+// array", "can this body execute on a worker goroutine" — while remaining
+// stdlib-only and simple enough to audit by eye.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Func is one unit of analysis: a declared function or method, or a
+// function literal. Literals are units of their own, separate from the
+// declaration that encloses them, because execution context is per-body —
+// a literal handed to a goroutine runs in a different context than the
+// function that built it.
+type Func struct {
+	Decl   *ast.FuncDecl // non-nil for declarations
+	Lit    *ast.FuncLit  // non-nil for literals
+	Parent *Func         // enclosing unit for literals, nil for declarations
+}
+
+// Body returns the unit's statement block.
+func (f *Func) Body() *ast.BlockStmt {
+	if f.Decl != nil {
+		return f.Decl.Body
+	}
+	return f.Lit.Body
+}
+
+// FuncType returns the unit's signature syntax.
+func (f *Func) FuncType() *ast.FuncType {
+	if f.Decl != nil {
+		return f.Decl.Type
+	}
+	return f.Lit.Type
+}
+
+// Pos returns the unit's source position.
+func (f *Func) Pos() token.Pos {
+	if f.Decl != nil {
+		return f.Decl.Pos()
+	}
+	return f.Lit.Pos()
+}
+
+// Name returns the declared name, or a placeholder naming the enclosing
+// declaration for literals.
+func (f *Func) Name() string {
+	if f.Decl != nil {
+		return f.Decl.Name.Name
+	}
+	for p := f.Parent; p != nil; p = p.Parent {
+		if p.Decl != nil {
+			return "func literal in " + p.Decl.Name.Name
+		}
+	}
+	return "func literal"
+}
+
+// Functions enumerates every unit in files: each declaration followed by
+// the literal units nested in it, outermost first.
+func Functions(files []*ast.File) []*Func {
+	var out []*Func
+	for _, file := range files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = appendUnit(out, &Func{Decl: fd})
+		}
+	}
+	return out
+}
+
+// appendUnit appends f and, recursively, the literal units nested in it.
+func appendUnit(out []*Func, f *Func) []*Func {
+	out = append(out, f)
+	InspectOwn(f, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = appendUnit(out, &Func{Lit: lit, Parent: f})
+		}
+		return true
+	})
+	return out
+}
+
+// InspectOwn walks the nodes that execute as part of f's own body,
+// visiting nested function literals as leaves without descending into
+// them — each literal is its own unit.
+func InspectOwn(f *Func, visit func(ast.Node) bool) {
+	ast.Inspect(f.Body(), func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if !visit(n) {
+			return false
+		}
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+// Unparen strips any parentheses around e.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// DefUse indexes, for one function body, every expression bound to each
+// variable object — short declarations, assignments, and var specs, in
+// source order. It is flow-insensitive and walks nested literals too:
+// enough to ask "could x ever hold a view of y" or "was x ever carved
+// with explicit capacity" without SSA.
+type DefUse struct {
+	defs map[types.Object][]ast.Expr
+}
+
+// NewDefUse builds the index over body.
+func NewDefUse(info *types.Info, body ast.Node) *DefUse {
+	du := &DefUse{defs: map[types.Object][]ast.Expr{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if id, ok := Unparen(lhs).(*ast.Ident); ok {
+					du.bind(info.ObjectOf(id), s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) != len(s.Values) {
+				return true
+			}
+			for i, name := range s.Names {
+				du.bind(info.ObjectOf(name), s.Values[i])
+			}
+		}
+		return true
+	})
+	return du
+}
+
+func (du *DefUse) bind(obj types.Object, rhs ast.Expr) {
+	if obj == nil {
+		return
+	}
+	du.defs[obj] = append(du.defs[obj], rhs)
+}
+
+// Defs returns the expressions bound to obj, in source order.
+func (du *DefUse) Defs(obj types.Object) []ast.Expr { return du.defs[obj] }
+
+// SliceTaint computes, within one function body, the alias closure of a
+// set of seed slice objects: direct assignment, re-slicing, and
+// append-onto all yield views of the seed's backing array, as does taking
+// the address of an element. Indexing alone does not — elements are
+// copied out by value — and neither does appending the seed's elements
+// onto a fresh destination (append(dst, seed...) copies).
+//
+// The walk covers the whole body including nested literals: a literal
+// that executes within the round (deferred or immediately invoked) works
+// on the same backing array, and one that escapes is the caller's finding
+// to make.
+type SliceTaint struct {
+	info    *types.Info
+	tainted map[types.Object]bool
+}
+
+// NewSliceTaint seeds the given objects and propagates to a fixpoint over
+// body's assignments.
+func NewSliceTaint(info *types.Info, body ast.Node, seeds ...types.Object) *SliceTaint {
+	t := &SliceTaint{info: info, tainted: map[types.Object]bool{}}
+	for _, s := range seeds {
+		if s != nil {
+			t.tainted[s] = true
+		}
+	}
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					changed = t.taintIdent(lhs, s.Rhs[i]) || changed
+				}
+			case *ast.ValueSpec:
+				if len(s.Names) != len(s.Values) {
+					return true
+				}
+				for i, name := range s.Names {
+					changed = t.taintIdent(name, s.Values[i]) || changed
+				}
+			}
+			return true
+		})
+		if !changed {
+			return t
+		}
+	}
+}
+
+func (t *SliceTaint) taintIdent(lhs, rhs ast.Expr) bool {
+	id, ok := Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := t.info.ObjectOf(id)
+	if obj == nil || t.tainted[obj] || !t.Tainted(rhs) {
+		return false
+	}
+	t.tainted[obj] = true
+	return true
+}
+
+// Tainted reports whether e evaluates to a view of a seed's backing array.
+func (t *SliceTaint) Tainted(e ast.Expr) bool {
+	switch e := Unparen(e).(type) {
+	case *ast.Ident:
+		obj := t.info.ObjectOf(e)
+		return obj != nil && t.tainted[obj]
+	case *ast.SliceExpr:
+		return t.Tainted(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if ix, ok := Unparen(e.X).(*ast.IndexExpr); ok {
+				return t.Tainted(ix.X) // pointer into the backing array
+			}
+		}
+	case *ast.CallExpr:
+		// append(tainted, ...) may return a view of the same array when
+		// spare capacity exists; append(fresh, tainted...) copies elements
+		// out and is clean.
+		if id, ok := Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if obj := t.info.ObjectOf(id); obj != nil && obj.Parent() == types.Universe {
+				return t.Tainted(e.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// TaintedObj reports whether obj itself is in the alias closure.
+func (t *SliceTaint) TaintedObj(obj types.Object) bool { return t.tainted[obj] }
+
+// IsFuncType reports whether t's underlying type is a function signature.
+func IsFuncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}

@@ -1,0 +1,363 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ExecFlow is a package-level function-value flow solver: it answers which
+// units may execute in a "marked" context (for emitorder: off the run's
+// main goroutine). Marking starts from seeds the analyzer supplies —
+// goroutine bodies, machine callbacks — and propagates through direct
+// calls, calls through function-typed variables and fields, and every
+// binding that can carry a function value to such a call site: plain
+// assignment, var specs, composite-literal fields, and arguments at
+// resolved call sites.
+//
+// This is exactly the plumbing the engine's worker pool is built from
+// (Run → phase closure → runPhase → poolTask.phase field → worker
+// goroutine): the solver follows a phase body to the worker without
+// modelling the channel itself, because the composite-literal binding at
+// the send site and the field call at the receive site meet at the same
+// *types.Var.
+type ExecFlow struct {
+	info *types.Info
+
+	funcs []*Func
+	byObj map[types.Object]*Func
+	byLit map[*ast.FuncLit]*Func
+
+	bindFns  map[types.Object][]*Func        // obj ← function body
+	bindObjs map[types.Object][]types.Object // obj ← another function-typed obj
+
+	calls map[*Func][]*Func   // direct calls to package-local bodies
+	sites map[*Func][]objSite // calls through function-typed objects
+	gos   []goSite            // go-statement launch sites
+
+	bound map[boundKey]bool // call-site args already bound to a target
+
+	marked   map[*Func]string
+	sinkWhy  map[types.Object]string
+	sinkList []types.Object
+}
+
+// objSite is one call through a function-typed variable, field, or
+// parameter.
+type objSite struct {
+	obj  types.Object
+	args []ast.Expr
+	pos  token.Pos
+}
+
+// goSite is one goroutine launch.
+type goSite struct {
+	fn  *Func        // go func(){...}() / go pkgFn()
+	obj types.Object // go someVar()
+}
+
+// boundKey dedupes argument binding per (call site, resolved target).
+type boundKey struct {
+	pos token.Pos
+	fn  *Func
+}
+
+// NewExecFlow builds the flow graph for one package.
+func NewExecFlow(info *types.Info, files []*ast.File) *ExecFlow {
+	x := &ExecFlow{
+		info:     info,
+		byObj:    map[types.Object]*Func{},
+		byLit:    map[*ast.FuncLit]*Func{},
+		bindFns:  map[types.Object][]*Func{},
+		bindObjs: map[types.Object][]types.Object{},
+		calls:    map[*Func][]*Func{},
+		sites:    map[*Func][]objSite{},
+		bound:    map[boundKey]bool{},
+		marked:   map[*Func]string{},
+		sinkWhy:  map[types.Object]string{},
+	}
+	x.funcs = Functions(files)
+	for _, f := range x.funcs {
+		if f.Decl != nil {
+			if obj := info.ObjectOf(f.Decl.Name); obj != nil {
+				x.byObj[obj] = f
+			}
+		} else {
+			x.byLit[f.Lit] = f
+		}
+	}
+	for _, f := range x.funcs {
+		x.scan(f)
+	}
+	return x
+}
+
+// Funcs returns every unit in the package, declarations before the
+// literals nested in them.
+func (x *ExecFlow) Funcs() []*Func { return x.funcs }
+
+// scan records f's bindings, call edges, and goroutine launches.
+func (x *ExecFlow) scan(f *Func) {
+	InspectOwn(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				x.bindLValue(lhs, n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				x.bindLValue(name, n.Values[i])
+			}
+		case *ast.CompositeLit:
+			x.scanComposite(n)
+		case *ast.CallExpr:
+			fn, obj := x.value(n.Fun)
+			switch {
+			case fn != nil:
+				x.calls[f] = append(x.calls[f], fn)
+				x.bindArgs(fn, n.Args)
+			case obj != nil:
+				x.sites[f] = append(x.sites[f], objSite{obj: obj, args: n.Args, pos: n.Pos()})
+			}
+		case *ast.GoStmt:
+			gfn, gobj := x.value(n.Call.Fun)
+			x.gos = append(x.gos, goSite{fn: gfn, obj: gobj})
+		}
+		return true
+	})
+}
+
+// scanComposite records function values stored into struct-literal fields:
+// the binding meets any later call through the same field object, which is
+// how work travels through channels of task structs.
+func (x *ExecFlow) scanComposite(cl *ast.CompositeLit) {
+	tv, ok := x.info.Types[cl]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				x.bindObj(x.info.ObjectOf(key), kv.Value)
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			x.bindObj(st.Field(i), elt)
+		}
+	}
+}
+
+// bindLValue records value flowing into the object behind lhs (a local,
+// or a field via selector).
+func (x *ExecFlow) bindLValue(lhs, value ast.Expr) {
+	switch lhs := Unparen(lhs).(type) {
+	case *ast.Ident:
+		x.bindObj(x.info.ObjectOf(lhs), value)
+	case *ast.SelectorExpr:
+		x.bindObj(x.info.ObjectOf(lhs.Sel), value)
+	}
+}
+
+// bindObj records value flowing into obj, if value carries a function.
+func (x *ExecFlow) bindObj(obj types.Object, value ast.Expr) bool {
+	if obj == nil {
+		return false
+	}
+	fn, vobj := x.value(value)
+	switch {
+	case fn != nil:
+		x.bindFns[obj] = append(x.bindFns[obj], fn)
+		return true
+	case vobj != nil:
+		x.bindObjs[obj] = append(x.bindObjs[obj], vobj)
+		return true
+	}
+	return false
+}
+
+// bindArgs flows function-valued arguments into fn's parameters. It
+// reports whether any new binding was recorded.
+func (x *ExecFlow) bindArgs(fn *Func, args []ast.Expr) bool {
+	params := x.paramObjs(fn)
+	changed := false
+	for i, arg := range args {
+		if i >= len(params) || params[i] == nil {
+			break
+		}
+		changed = x.bindObj(params[i], arg) || changed
+	}
+	return changed
+}
+
+// paramObjs returns fn's parameter objects in declaration order (nil for
+// unnamed parameters, which still consume a position).
+func (x *ExecFlow) paramObjs(fn *Func) []types.Object {
+	ft := fn.FuncType()
+	if ft.Params == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, x.info.ObjectOf(name))
+		}
+	}
+	return out
+}
+
+// value resolves e to a package-local function body, or to a
+// function-typed object (variable, field, or parameter), or to neither.
+func (x *ExecFlow) value(e ast.Expr) (*Func, types.Object) {
+	switch e := Unparen(e).(type) {
+	case *ast.FuncLit:
+		return x.byLit[e], nil
+	case *ast.Ident:
+		return x.valueObj(x.info.ObjectOf(e))
+	case *ast.SelectorExpr:
+		return x.valueObj(x.info.ObjectOf(e.Sel))
+	}
+	return nil, nil
+}
+
+func (x *ExecFlow) valueObj(obj types.Object) (*Func, types.Object) {
+	switch obj := obj.(type) {
+	case *types.Func:
+		return x.byObj[obj], nil
+	case *types.Var:
+		if IsFuncType(obj.Type()) {
+			return nil, obj
+		}
+	}
+	return nil, nil
+}
+
+// Mark seeds f as executing in the marked context for the given reason.
+func (x *ExecFlow) Mark(f *Func, reason string) { x.mark(f, reason) }
+
+// MarkGo seeds every goroutine launch site: bodies started with a go
+// statement run off the launching goroutine by definition.
+func (x *ExecFlow) MarkGo(reason string) {
+	for _, g := range x.gos {
+		if g.fn != nil {
+			x.mark(g.fn, reason)
+		}
+		if g.obj != nil {
+			x.sink(g.obj, reason)
+		}
+	}
+}
+
+// Marked reports whether f may execute in the marked context, and the
+// seed reason that reached it.
+func (x *ExecFlow) Marked(f *Func) (string, bool) {
+	why, ok := x.marked[f]
+	return why, ok
+}
+
+func (x *ExecFlow) mark(f *Func, why string) bool {
+	if f == nil {
+		return false
+	}
+	if _, ok := x.marked[f]; ok {
+		return false
+	}
+	x.marked[f] = why
+	return true
+}
+
+func (x *ExecFlow) sink(obj types.Object, why string) bool {
+	if obj == nil {
+		return false
+	}
+	if _, ok := x.sinkWhy[obj]; ok {
+		return false
+	}
+	x.sinkWhy[obj] = why
+	x.sinkList = append(x.sinkList, obj)
+	return true
+}
+
+// Solve propagates markings to a fixpoint.
+func (x *ExecFlow) Solve() {
+	for changed := true; changed; {
+		changed = false
+		// A call through a function-typed object is a call to every body
+		// that can flow into the object: bind the site's arguments to those
+		// bodies' parameters wherever the site appears, marked or not —
+		// the binding itself is context-free.
+		for _, f := range x.funcs {
+			for _, site := range x.sites[f] {
+				for _, target := range x.resolve(site.obj, nil) {
+					if x.bindArgsOnce(site, target) {
+						changed = true
+					}
+				}
+			}
+		}
+		// Marked body → direct callees marked; objects it calls through
+		// become sinks and their bodies marked.
+		for _, f := range x.funcs {
+			why, ok := x.marked[f]
+			if !ok {
+				continue
+			}
+			for _, callee := range x.calls[f] {
+				changed = x.mark(callee, why) || changed
+			}
+			for _, site := range x.sites[f] {
+				changed = x.sink(site.obj, why) || changed
+				for _, target := range x.resolve(site.obj, nil) {
+					changed = x.mark(target, why) || changed
+				}
+			}
+		}
+		// Sunk object → every body that can flow into it is marked.
+		for i := 0; i < len(x.sinkList); i++ {
+			obj := x.sinkList[i]
+			for _, target := range x.resolve(obj, nil) {
+				changed = x.mark(target, x.sinkWhy[obj]) || changed
+			}
+		}
+	}
+}
+
+// resolve returns every body that can flow into obj, following chained
+// object-to-object bindings.
+func (x *ExecFlow) resolve(obj types.Object, seen map[types.Object]bool) []*Func {
+	if seen[obj] {
+		return nil
+	}
+	if seen == nil {
+		seen = map[types.Object]bool{}
+	}
+	seen[obj] = true
+	out := append([]*Func(nil), x.bindFns[obj]...)
+	for _, o2 := range x.bindObjs[obj] {
+		out = append(out, x.resolve(o2, seen)...)
+	}
+	return out
+}
+
+func (x *ExecFlow) bindArgsOnce(site objSite, target *Func) bool {
+	k := boundKey{pos: site.pos, fn: target}
+	if x.bound[k] {
+		return false
+	}
+	x.bound[k] = true
+	return x.bindArgs(target, site.args)
+}

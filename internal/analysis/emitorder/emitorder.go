@@ -1,0 +1,125 @@
+// Package emitorder guards the trace determinism contract: every obs event
+// is emitted from the engine's main run goroutine, so the seq and pool
+// engine modes produce byte-identical streams. Machines never emit — they
+// stage per-node annotations through Env.Annotate, and the engine drains
+// the staging buffers after the round barrier in node-index order.
+//
+// The analyzer computes, per package, which function bodies may execute
+// off the main goroutine — seeded by go statements and by machine
+// callbacks (Send/Receive methods taking *Env or *StageCtx), propagated
+// through direct calls, function-valued assignments, composite-literal
+// fields, and call arguments (the exact plumbing the worker pool uses to
+// hand phase closures to its workers) — and flags any call to
+// (*Recorder).Emit reachable there. Recorder is matched structurally by
+// type name, so fixtures need no obs import.
+package emitorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the emitorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "emitorder",
+	Doc: "obs events may only be emitted from the main run goroutine: no " +
+		"(*Recorder).Emit call may be reachable from a goroutine body or a " +
+		"machine callback — stage per-node data with Env.Annotate and let the " +
+		"engine drain it after the round barrier",
+	Run: run,
+}
+
+// obsPkgs is the observability layer itself: its Recorder methods are the
+// funnel this analyzer protects, not a violation.
+var obsPkgs = []string{"internal/obs"}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.PathInScope(path, analysis.DeterministicPkgs) ||
+		analysis.PathInScope(path, obsPkgs) {
+		return nil
+	}
+	x := dataflow.NewExecFlow(pass.TypesInfo, pass.Files)
+	x.MarkGo("launched with a go statement")
+	for _, f := range x.Funcs() {
+		if f.Decl != nil && isMachineCallback(pass, f.Decl) {
+			x.Mark(f, "a machine callback (runs inside worker-pool chunks)")
+		}
+	}
+	x.Solve()
+	for _, f := range x.Funcs() {
+		why, ok := x.Marked(f)
+		if !ok {
+			continue
+		}
+		reportEmits(pass, f, why)
+	}
+	return nil
+}
+
+// isMachineCallback reports whether fd is a machine's Send/Receive method
+// (first parameter *Env or *StageCtx), matched structurally like
+// machinepurity does.
+func isMachineCallback(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || (fd.Name.Name != "Send" && fd.Name.Name != "Receive") {
+		return false
+	}
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	t := pass.TypesInfo.Types[params.List[0].Type].Type
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Env" || name == "StageCtx"
+}
+
+// reportEmits flags Recorder.Emit calls in f's own body.
+func reportEmits(pass *analysis.Pass, f *dataflow.Func, why string) {
+	dataflow.InspectOwn(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isRecorderEmit(pass, call) {
+			pass.Reportf(call.Pos(),
+				"obs emission off the main goroutine: %s calls (*Recorder).Emit but is %s; "+
+					"stage per-node data with Env.Annotate and emit after the round barrier",
+				f.Name(), why)
+		}
+		return true
+	})
+}
+
+// isRecorderEmit matches method calls named Emit whose receiver's type is
+// named Recorder (any pointer depth).
+func isRecorderEmit(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := dataflow.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Recorder"
+}

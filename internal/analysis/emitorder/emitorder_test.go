@@ -1,0 +1,12 @@
+package emitorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/emitorder"
+)
+
+func TestEmitOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", emitorder.Analyzer, "fixtures/internal/runtime")
+}

@@ -59,6 +59,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	// With -e the go command reports per-package errors in the JSON stream
+	// instead of failing the list. Surface broken packages up front,
+	// attributed to their own import path: a broken dependency would
+	// otherwise be skipped by the DepOnly filter below and resurface during
+	// type-checking of some downstream target as a bare "no export data"
+	// failure naming the wrong package.
+	for _, p := range listed {
+		if p.Error != nil && (p.DepOnly || p.Standard) {
+			return nil, fmt.Errorf("load %s (dependency): %s", p.ImportPath, p.Error.Err)
+		}
+	}
 	// Export map for the importer: canonical path -> export-data file.
 	exports := make(map[string]string, len(listed))
 	for _, p := range listed {
@@ -70,7 +81,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
+			return nil, fmt.Errorf("no export data for %q (the package failed to compile or was missing from the go list walk)", path)
 		}
 		return os.Open(f)
 	})

@@ -1,0 +1,81 @@
+package load_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// writeTree lays out a throwaway module under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadAttributesBrokenDependency pins the error-attribution contract:
+// when a dependency of the matched pattern is broken, the load error names
+// the dependency's import path — not a downstream target, and not a bare
+// "no export data" from inside the importer.
+func TestLoadAttributesBrokenDependency(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":       "module brokentest\n\ngo 1.22\n",
+		"dep/dep.go":   "package dep\n\nfunc F() int { return 1 // syntax error: unclosed body\n",
+		"root/root.go": "package root\n\nimport \"brokentest/dep\"\n\nfunc G() int { return dep.F() }\n",
+	})
+	_, err := load.Load(dir, "./root")
+	if err == nil {
+		t.Fatal("Load succeeded; want an error naming the broken dependency")
+	}
+	if !strings.Contains(err.Error(), "brokentest/dep") {
+		t.Fatalf("load error does not name the broken dependency's import path:\n%v", err)
+	}
+}
+
+// TestLoadAttributesBrokenTarget checks the same for a directly matched
+// package: the error carries the target's import path.
+func TestLoadAttributesBrokenTarget(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":       "module brokentest\n\ngo 1.22\n",
+		"bad/bad.go":   "package bad\n\nfunc F( {}\n",
+		"good/good.go": "package good\n\nfunc G() int { return 1 }\n",
+	})
+	_, err := load.Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded; want an error naming the broken package")
+	}
+	if !strings.Contains(err.Error(), "brokentest/bad") {
+		t.Fatalf("load error does not name the broken package's import path:\n%v", err)
+	}
+}
+
+// TestLoadCleanModule is the happy-path control: a well-formed module loads
+// with its files parsed and type-checked.
+func TestLoadCleanModule(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":     "module cleantest\n\ngo 1.22\n",
+		"pkg/pkg.go": "package pkg\n\nfunc F() int { return 1 }\n",
+	})
+	pkgs, err := load.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "cleantest/pkg" {
+		t.Fatalf("got %d packages, want exactly cleantest/pkg", len(pkgs))
+	}
+	if pkgs[0].Types == nil || len(pkgs[0].Files) != 1 {
+		t.Fatal("package loaded without types or files")
+	}
+}

@@ -62,6 +62,15 @@ var ObservationalClockPkgs = []string{
 	"internal/obs",
 }
 
+// SessionPkgs are the suffixes of packages hosting dynamic update
+// sessions, whose batch handling must route every accept/reject/dedupe
+// decision through the monotone Seq ledger (the seen-set) — the
+// fixed-point argument behind self-healing runs assumes no batch is
+// applied twice and no decision bypasses the ledger.
+var SessionPkgs = []string{
+	"internal/dynamic",
+}
+
 // WrapErrPkgs are the suffixes of the framework packages whose errors must
 // wrap the runtime sentinels (ErrConfig, ErrProtocol, ErrMachinePanic, ...).
 var WrapErrPkgs = []string{

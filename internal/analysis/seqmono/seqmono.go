@@ -1,0 +1,288 @@
+// Package seqmono guards the dynamic session's Seq ledger discipline.
+// dynamic.Session dedupes and orders update batches through a monotone
+// seen-set (a map field named seen keyed by batch Seq); the degradation
+// ladder's fixed-point argument assumes every accept/reject/dedupe
+// decision consults that ledger and that the ledger only grows. The
+// analyzer enforces, for the session packages:
+//
+//   - ledger writes record true, never false — the seen-set is monotone;
+//   - delete on the ledger is forbidden for the same reason;
+//   - a ledger write's key derives from a batch's Seq field (directly or
+//     through a def-use chain), not from loop counters or other state;
+//   - a method that takes a Batch and mutates receiver state must read
+//     the ledger before its first mutation — no accept path may bypass
+//     the dedupe check.
+//
+// Session, Batch, and the ledger are matched structurally (a struct with
+// a map-typed field named seen; a named type Batch with a Seq field), so
+// fixtures need no dynamic import.
+package seqmono
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the seqmono check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seqmono",
+	Doc: "dynamic session batch handling must route every accept/reject/dedupe " +
+		"decision through the Seq ledger: seen-set writes record true keyed by " +
+		"Batch.Seq, are never deleted, and precede any other state mutation in " +
+		"batch-taking methods",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathInScope(pass.Pkg.Path(), analysis.SessionPkgs) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc applies the ledger rules to one function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	du := dataflow.NewDefUse(info, fd.Body)
+	recv := receiverObj(info, fd)
+
+	firstWrite := token.NoPos // first receiver-state mutation
+	firstRead := token.NoPos  // first ledger read
+	writeIsLedger := false    // the first mutation is itself a ledger write
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if ix, ok := dataflow.Unparen(lhs).(*ast.IndexExpr); ok && isLedger(info, ix.X) {
+					if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+						checkLedgerWrite(pass, du, ix, n.Rhs[i])
+					}
+					noteWrite(&firstWrite, &writeIsLedger, lhs.Pos(), true)
+					continue
+				}
+				if recv != nil && mutatesReceiver(info, lhs, recv) {
+					noteWrite(&firstWrite, &writeIsLedger, lhs.Pos(), false)
+				}
+			}
+		case *ast.IncDecStmt:
+			if recv != nil && mutatesReceiver(info, n.X, recv) {
+				noteWrite(&firstWrite, &writeIsLedger, n.Pos(), false)
+			}
+		case *ast.CallExpr:
+			if id, ok := dataflow.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if obj := info.ObjectOf(id); obj != nil && obj.Parent() == types.Universe && isLedger(info, n.Args[0]) {
+					pass.Reportf(n.Pos(),
+						"delete on the Seq ledger: the seen-set is monotone — record rejections as seen, never unsee")
+				}
+			}
+		case *ast.IndexExpr:
+			if isLedger(info, n.X) && !isWriteTarget(fd.Body, n) {
+				if !firstRead.IsValid() || n.Pos() < firstRead {
+					firstRead = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	if !takesBatch(info, fd) || !firstWrite.IsValid() {
+		return
+	}
+	consulted := firstRead.IsValid() && firstRead <= firstWrite
+	if !consulted && !writeIsLedger {
+		pass.Reportf(firstWrite,
+			"session state mutated before consulting the Seq ledger: read the seen-set "+
+				"(dedupe/accept decision) before any other mutation in a batch-taking method")
+	} else if !consulted && writeIsLedger {
+		pass.Reportf(firstWrite,
+			"ledger written without a prior read: the dedupe decision must consult the "+
+				"seen-set before recording the batch")
+	}
+}
+
+func noteWrite(first *token.Pos, firstIsLedger *bool, pos token.Pos, ledger bool) {
+	if first.IsValid() && *first <= pos {
+		return
+	}
+	*first = pos
+	*firstIsLedger = ledger
+}
+
+// checkLedgerWrite enforces monotone true values keyed by Batch.Seq.
+func checkLedgerWrite(pass *analysis.Pass, du *dataflow.DefUse, ix *ast.IndexExpr, rhs ast.Expr) {
+	if !isTrue(pass.TypesInfo, rhs) {
+		pass.Reportf(rhs.Pos(),
+			"Seq ledger write must record true: the seen-set is monotone, rejections are recorded as seen too")
+	}
+	if !derivesFromSeq(pass.TypesInfo, du, ix.Index, 0) {
+		pass.Reportf(ix.Index.Pos(),
+			"Seq ledger keyed by something other than a batch Seq: dedupe decisions must key on Batch.Seq")
+	}
+}
+
+// isLedger matches expressions selecting a map-typed struct field named
+// seen.
+func isLedger(info *types.Info, e ast.Expr) bool {
+	sel, ok := dataflow.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "seen" {
+		return false
+	}
+	v, ok := info.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !v.IsField() {
+		return false
+	}
+	_, isMap := v.Type().Underlying().(*types.Map)
+	return isMap
+}
+
+// isWriteTarget reports whether ix is the assignment target of some
+// statement in body.
+func isWriteTarget(body ast.Node, ix *ast.IndexExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if dataflow.Unparen(lhs) == ix {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// derivesFromSeq reports whether e mentions a Seq field selection,
+// directly or through the def-use chain of an identifier.
+func derivesFromSeq(info *types.Info, du *dataflow.DefUse, e ast.Expr, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Seq" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			for _, def := range du.Defs(info.ObjectOf(n)) {
+				if derivesFromSeq(info, du, def, depth+1) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// receiverObj returns the method receiver's object when the receiver's
+// struct type carries the seen ledger, nil otherwise.
+func receiverObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	obj := info.ObjectOf(fd.Recv.List[0].Names[0])
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "seen" {
+			if _, isMap := f.Type().Underlying().(*types.Map); isMap {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// mutatesReceiver reports whether lhs writes through the receiver object
+// (s.field, s.field[i], s.a.b, ...).
+func mutatesReceiver(info *types.Info, lhs ast.Expr, recv types.Object) bool {
+	for {
+		switch e := dataflow.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.Ident:
+			return info.ObjectOf(e) == recv
+		default:
+			return false
+		}
+	}
+}
+
+// takesBatch reports whether fd has a parameter of (or of a slice of) a
+// named type Batch carrying a Seq field.
+func takesBatch(info *types.Info, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		t := info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			t = sl.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Batch" {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == "Seq" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTrue matches the predeclared true constant.
+func isTrue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[dataflow.Unparen(e)]
+	return ok && tv.Value != nil && tv.Value.String() == "true"
+}

@@ -1,0 +1,12 @@
+package seqmono_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seqmono"
+)
+
+func TestSeqMono(t *testing.T) {
+	analysistest.Run(t, "../testdata", seqmono.Analyzer, "fixtures/internal/dynamic")
+}

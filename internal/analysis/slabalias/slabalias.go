@@ -1,0 +1,190 @@
+// Package slabalias guards the arena inbox lifetime contract. The columnar
+// engine carves each node's inbox out of a single reusable slab
+// (msgSlab.acquire) and passes the carved region to Machine.Receive; the
+// slab is recycled every round and shrunk at high-water boundaries, so any
+// view of the inbox that survives the round barrier silently decays into
+// reading someone else's messages. Receive's documented contract is "copy
+// it (not just re-slice it) to retain messages beyond the call" — this
+// analyzer makes the contract a compile-time gate.
+//
+// For every function with a []Msg parameter (Msg matched structurally:
+// a named struct with From and Payload fields, so fixtures and helper
+// packages need no runtime import), the parameter and its alias closure
+// (re-slices, appends onto it, pointers to its elements) must not
+//
+//   - be stored to a field or any other non-local lvalue,
+//   - be returned,
+//   - be sent on a channel, or
+//   - be captured by a function value that may outlive the call
+//     (deferred and immediately-invoked literals run within the round
+//     and are exempt).
+//
+// Copying the messages out — element-wise, append(dst, inbox...), or
+// copy(dst, inbox) — is the recognized-safe pattern: elements are values,
+// so only slice headers alias the arena.
+package slabalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the slabalias check.
+var Analyzer = &analysis.Analyzer{
+	Name: "slabalias",
+	Doc: "a view of an arena-backed inbox slice ([]Msg parameter) must not escape " +
+		"the round barrier: no field stores, returns, channel sends, or captures " +
+		"by escaping closures — the slab is reused and shrunk between rounds",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathInScope(pass.Pkg.Path(), analysis.DeterministicPkgs) {
+		return nil
+	}
+	for _, f := range dataflow.Functions(pass.Files) {
+		if f.Decl == nil {
+			continue // literals are checked as part of their declaration
+		}
+		seeds := inboxParams(pass, f)
+		if len(seeds) == 0 {
+			continue
+		}
+		check(pass, f, seeds)
+	}
+	return nil
+}
+
+// inboxParams returns the objects of f's []Msg parameters.
+func inboxParams(pass *analysis.Pass, f *dataflow.Func) []types.Object {
+	var seeds []types.Object
+	params := f.FuncType().Params
+	if params == nil {
+		return nil
+	}
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.ObjectOf(name)
+			if obj != nil && isMsgSlice(obj.Type()) {
+				seeds = append(seeds, obj)
+			}
+		}
+	}
+	return seeds
+}
+
+// isMsgSlice reports whether t is a slice of a named struct Msg with From
+// and Payload fields — the engine's message type, matched structurally.
+func isMsgSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Msg" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasFrom, hasPayload := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "From":
+			hasFrom = true
+		case "Payload":
+			hasPayload = true
+		}
+	}
+	return hasFrom && hasPayload
+}
+
+// check reports every escape of the seeds' alias closure out of f.
+func check(pass *analysis.Pass, f *dataflow.Func, seeds []types.Object) {
+	body := f.Body()
+	taint := dataflow.NewSliceTaint(pass.TypesInfo, body, seeds...)
+
+	// Literal contexts that run within the round: deferred and
+	// immediately-invoked literals don't outlive the call.
+	safeLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := dataflow.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				safeLits[lit] = true
+			}
+		case *ast.CallExpr:
+			if lit, ok := dataflow.Unparen(n.Fun).(*ast.FuncLit); ok {
+				safeLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	const remedy = "; the slab is reused and shrunk between rounds — copy the messages instead"
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if _, ok := dataflow.Unparen(lhs).(*ast.Ident); ok {
+					continue // local alias: tracked by the taint closure
+				}
+				if taint.Tainted(n.Rhs[i]) {
+					pass.Reportf(n.Pos(),
+						"arena inbox view escapes %s: stored to a non-local location%s",
+						f.Name(), remedy)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if taint.Tainted(res) {
+					pass.Reportf(n.Pos(),
+						"arena inbox view escapes %s: returned to the caller%s",
+						f.Name(), remedy)
+				}
+			}
+		case *ast.SendStmt:
+			if taint.Tainted(n.Value) {
+				pass.Reportf(n.Pos(),
+					"arena inbox view escapes %s: sent on a channel%s",
+					f.Name(), remedy)
+			}
+		case *ast.FuncLit:
+			if safeLits[n] {
+				return true // runs within the round; its body is still walked
+			}
+			if obj := capturedTaint(pass, taint, n); obj != nil {
+				pass.Reportf(n.Pos(),
+					"arena inbox view escapes %s: %s is captured by a function value that may outlive the round%s",
+					f.Name(), obj.Name(), remedy)
+			}
+		}
+		return true
+	})
+}
+
+// capturedTaint returns a tainted object referenced inside lit, if any.
+func capturedTaint(pass *analysis.Pass, taint *dataflow.SliceTaint, lit *ast.FuncLit) types.Object {
+	var found types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil && taint.TaintedObj(obj) {
+			found = obj
+		}
+		return true
+	})
+	return found
+}

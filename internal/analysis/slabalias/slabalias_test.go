@@ -1,0 +1,12 @@
+package slabalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/slabalias"
+)
+
+func TestSlabAlias(t *testing.T) {
+	analysistest.Run(t, "../testdata", slabalias.Analyzer, "fixtures/internal/core")
+}

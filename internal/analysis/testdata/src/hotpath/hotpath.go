@@ -1,0 +1,101 @@
+// Package hotpath is an allocguard fixture: annotated functions with every
+// allocation-inducing construct the gate must flag, next to the
+// recognized-safe idioms the engine's hot path actually uses.
+package hotpath
+
+import "fmt"
+
+type event struct {
+	id   int
+	name string
+}
+
+type state struct {
+	buf     []int
+	scratch []int
+	errs    []error
+	out     chan int
+	cb      func() int
+	slot    any
+	other   any
+	ev      event
+	name    string
+	err     error
+}
+
+func (s *state) work() {}
+
+func sink(v any) { _ = v }
+
+// step is the annotated hot function: every construct below allocates.
+//
+//dgp:hotpath
+func (s *state) step(n int, a, b string) {
+	m := make(map[int]int) // want `make\(map\) allocates`
+	_ = m
+	sl := make([]int, n) // want `make\(slice\) allocates`
+	_ = sl
+	ch := make(chan int) // want `make\(chan\) allocates`
+	_ = ch
+	p := new(int) // want `new\(T\) allocates`
+	_ = p
+	lit := map[int]int{n: n} // want `map literal allocates`
+	_ = lit
+	sls := []int{n} // want `slice literal allocates`
+	_ = sls
+	ptr := &event{id: n} // want `&composite literal is a heap allocation`
+	_ = ptr
+	grown := append(s.buf, n) // want `append without preallocated-cap evidence`
+	_ = grown
+	go s.work()                      // want `starts a goroutine`
+	s.cb = func() int { return n }   // want `closure captures n`
+	s.err = fmt.Errorf("step %d", n) // want `calls fmt\.Errorf, which allocates`
+	s.name = a + b                   // want `string concatenation allocates`
+	bs := []byte(a)                  // want `string<->slice conversion copies its data`
+	_ = bs
+	s.slot = n // want `boxes a int into an interface`
+	sink(n)    // want `boxes a int into an interface`
+}
+
+// boxedReturn boxes its concrete result into the interface return slot.
+//
+//dgp:hotpath
+func boxedReturn(n int) any {
+	return n // want `boxes a int into an interface`
+}
+
+// steady is the recognized-safe shape: truncate-reuse buffers, field
+// self-appends, struct values, interface-to-interface moves, and cold
+// error exits that may allocate.
+//
+//dgp:hotpath
+func (s *state) steady(n int, bad bool) {
+	s.buf = append(s.buf, n) // field self-append: persistent amortized buffer
+	local := s.scratch[:0]
+	local = append(local, n) // truncate-reuse evidence on the local's def
+	s.scratch = local
+	s.ev = event{id: n} // struct value, no heap
+	s.slot = s.other    // interface to interface, no boxing
+	s.cb = pick         // package function value, no capture
+	if bad {
+		// Cold exit: ends by returning, so the error construction and its
+		// boxed arguments are exempt.
+		s.errs = append(s.errs, fmt.Errorf("bad input %d", n))
+		return
+	}
+	func() { s.buf[0] = n }() // immediately invoked: no closure allocation flagged
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = fmt.Errorf("panic: %v", r) // recover-guarded: cold
+		}
+	}()
+}
+
+func pick() int { return 1 }
+
+// unannotated may allocate freely: the gate is opt-in.
+func (s *state) unannotated(n int) {
+	m := map[int]int{n: n}
+	_ = m
+	s.slot = n
+}

@@ -1,0 +1,109 @@
+// Package core is a slabalias fixture: functions handling arena-backed
+// inbox slices. Msg mirrors the runtime message type structurally, so the
+// fixture needs no import of the real module.
+package core
+
+// Msg mirrors runtime.Msg.
+type Msg struct {
+	From    int
+	Payload any
+}
+
+// Env stands in for runtime.Env.
+type Env struct{ id int }
+
+// leaky stores inbox views beyond the round barrier: every escape shape
+// the analyzer must catch.
+type leaky struct {
+	held   []Msg
+	hold   *Msg
+	last   Msg
+	ch     chan []Msg
+	notify func() int
+}
+
+// Receive stores the raw inbox slice to a field.
+func (m *leaky) Receive(env *Env, inbox []Msg) {
+	m.held = inbox // want `arena inbox view escapes Receive: stored to a non-local location`
+}
+
+// storeReslice stores a re-slice: still the same backing array.
+func (m *leaky) storeReslice(inbox []Msg) {
+	m.held = inbox[1:] // want `stored to a non-local location`
+}
+
+// storeAliasChain leaks through a local alias.
+func (m *leaky) storeAliasChain(inbox []Msg) {
+	tail := inbox[1:]
+	view := tail
+	m.held = view // want `stored to a non-local location`
+}
+
+// storeElemPtr keeps a pointer into the arena.
+func (m *leaky) storeElemPtr(inbox []Msg) {
+	m.hold = &inbox[0] // want `stored to a non-local location`
+}
+
+// storeAppendOnto appends onto the inbox, which may share its array.
+func (m *leaky) storeAppendOnto(inbox []Msg) {
+	m.held = append(inbox, Msg{}) // want `stored to a non-local location`
+}
+
+// tail returns a view to the caller.
+func tail(inbox []Msg) []Msg {
+	return inbox[1:] // want `returned to the caller`
+}
+
+// ship sends the view to another goroutine's round.
+func (m *leaky) ship(inbox []Msg) {
+	m.ch <- inbox // want `sent on a channel`
+}
+
+// capture closes over the inbox in a function value that outlives the call.
+func (m *leaky) capture(inbox []Msg) {
+	m.notify = func() int { // want `captured by a function value that may outlive the round`
+		return len(inbox)
+	}
+}
+
+// clean shows every recognized-safe pattern: copying out, element reads,
+// and views that die within the call.
+type clean struct {
+	held []Msg
+	last Msg
+	sum  int
+}
+
+// Receive copies the messages it wants to keep — the documented contract.
+func (m *clean) Receive(env *Env, inbox []Msg) {
+	cp := make([]Msg, len(inbox))
+	copy(cp, inbox)
+	m.held = cp
+}
+
+// keepByAppend copies elements onto a fresh (owned) destination.
+func (m *clean) keepByAppend(inbox []Msg) {
+	m.held = append(m.held[:0], inbox...)
+}
+
+// readOnly ranges and copies single elements by value.
+func (m *clean) readOnly(inbox []Msg) {
+	for _, msg := range inbox {
+		m.sum += msg.From
+	}
+	if len(inbox) > 0 {
+		m.last = inbox[0]
+	}
+}
+
+// scopedViews re-slices locally and runs literals within the round.
+func (m *clean) scopedViews(inbox []Msg) {
+	head := inbox[:1]
+	_ = head
+	func() {
+		m.sum += len(inbox) // immediately invoked: runs within the round
+	}()
+	defer func() {
+		m.sum += len(inbox) // deferred: runs within the round
+	}()
+}

@@ -1,0 +1,89 @@
+// Package dynamic is a seqmono fixture mirroring the session shapes
+// structurally: a Batch with a Seq field and a Session whose seen map is
+// the monotone Seq ledger.
+package dynamic
+
+// Batch mirrors dynamic.Batch.
+type Batch struct {
+	Seq     int
+	Updates []int
+}
+
+type stats struct {
+	applied int
+	dupes   int
+}
+
+// Session mirrors dynamic.Session: seen is the Seq ledger.
+type Session struct {
+	seen  map[int]bool
+	out   []int
+	stats stats
+}
+
+// applyGood follows the contract: consult the ledger, decide, record.
+func (s *Session) applyGood(b Batch) {
+	if s.seen[b.Seq] {
+		s.stats.dupes++
+		return
+	}
+	s.out = append(s.out, b.Updates...)
+	s.seen[b.Seq] = true
+	s.stats.applied++
+}
+
+// applyVia keys through a local whose def-use chain reaches Seq: fine.
+func (s *Session) applyVia(b Batch) {
+	key := b.Seq
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+}
+
+// applyBlind mutates session state before consulting the ledger.
+func (s *Session) applyBlind(b Batch) {
+	s.out = append(s.out, b.Seq) // want `session state mutated before consulting the Seq ledger`
+	if s.seen[b.Seq] {
+		return
+	}
+	s.seen[b.Seq] = true
+}
+
+// record books a batch without any dedupe read.
+func (s *Session) record(b Batch) {
+	s.seen[b.Seq] = true // want `ledger written without a prior read`
+}
+
+// applyFalse un-marks a batch by writing false: the ledger is monotone.
+func (s *Session) applyFalse(b Batch) {
+	if s.seen[b.Seq] {
+		return
+	}
+	s.seen[b.Seq] = false // want `Seq ledger write must record true`
+}
+
+// applyKeyedLoop keys the ledger off a loop counter, not the batch Seq.
+func (s *Session) applyKeyedLoop(bs []Batch) {
+	for i := range bs {
+		if s.seen[i] {
+			continue
+		}
+		s.seen[i] = true // want `keyed by something other than a batch Seq`
+	}
+}
+
+// forget deletes from the ledger: monotone means never unsee.
+func (s *Session) forget(seq int) {
+	delete(s.seen, seq) // want `delete on the Seq ledger`
+}
+
+// reject is a helper without receiver mutation: no ordering obligation.
+func (s *Session) reject(b Batch) bool {
+	return len(b.Updates) == 0
+}
+
+// toPatch is a free function on batches: the ledger rules don't apply.
+func toPatch(b Batch) []int {
+	return b.Updates
+}

@@ -1,0 +1,105 @@
+// Package runtime is an emitorder fixture mirroring the engine's shapes
+// structurally: a Recorder with an Emit method, a worker pool that hands
+// phase closures through a task struct on a channel, and machine
+// callbacks. No obs import needed — the analyzer matches by type name.
+package runtime
+
+// Event mirrors obs.Event.
+type Event struct {
+	Type int
+	Node int
+}
+
+// Recorder mirrors obs.Recorder: Emit is the funnel the contract guards.
+type Recorder struct{ events []Event }
+
+// Emit appends one event.
+func (r *Recorder) Emit(e Event) { r.events = append(r.events, e) }
+
+// Env stands in for runtime.Env.
+type Env struct{ id int }
+
+// task carries a phase closure to the workers, like poolTask.
+type task struct {
+	phase func(int)
+	node  int
+}
+
+type engine struct {
+	trace *Recorder
+	tasks chan task
+	notes []Event
+}
+
+// mainLoop emits from the main run goroutine: the legal pattern.
+func (e *engine) mainLoop(rounds int) {
+	for round := 0; round < rounds; round++ {
+		e.trace.Emit(Event{Type: 1, Node: round})
+		e.dispatch(e.goodPhase)
+		e.dispatch(e.badPhase)
+		e.drain()
+	}
+}
+
+// drain flushes staged annotations after the barrier, on the main
+// goroutine: legal.
+func (e *engine) drain() {
+	for _, ev := range e.notes {
+		e.trace.Emit(ev)
+	}
+	e.notes = e.notes[:0]
+}
+
+// dispatch hands a phase to the workers through the task channel.
+func (e *engine) dispatch(phase func(int)) {
+	e.tasks <- task{phase: phase, node: 0}
+}
+
+// worker drains the task channel off the main goroutine, like the
+// persistent pool.
+func (e *engine) worker() {
+	go func() {
+		for t := range e.tasks {
+			t.phase(t.node)
+		}
+	}()
+}
+
+// goodPhase stages data for the post-barrier drain instead of emitting.
+func (e *engine) goodPhase(i int) {
+	e.notes = append(e.notes, Event{Type: 2, Node: i})
+}
+
+// badPhase emits from worker context: the task-struct flow reaches it.
+func (e *engine) badPhase(i int) {
+	e.trace.Emit(Event{Type: 3, Node: i}) // want `obs emission off the main goroutine`
+}
+
+// spawn launches a method directly on a goroutine.
+func (e *engine) spawn() {
+	go e.tick()
+}
+
+// tick runs off the main goroutine.
+func (e *engine) tick() {
+	e.trace.Emit(Event{Type: 4}) // want `obs emission off the main goroutine`
+}
+
+// machine is a Send/Receive callback holder: callbacks run inside
+// worker-pool chunks by construction.
+type machine struct {
+	r      *Recorder
+	staged []Event
+}
+
+// Receive must stage, never emit.
+func (m *machine) Receive(env *Env, inbox []int) {
+	m.staged = append(m.staged, Event{Type: 5})
+	m.r.Emit(Event{Type: 6}) // want `obs emission off the main goroutine`
+}
+
+// Send is clean: staging only.
+func (m *machine) Send(env *Env) []int {
+	m.staged = append(m.staged, Event{Type: 7})
+	return nil
+}

@@ -228,6 +228,46 @@ func TestSessionEngineParity(t *testing.T) {
 	}
 }
 
+// TestSessionReorderHeavyEngineParity stresses the parity contract where
+// delivery order diverges hardest from batch order: at Reorder 0.9 nearly
+// every adjacent slot pair is swapped, so the session's accept/reject/dedupe
+// decisions run against a maximally shuffled stream. Sequential and pool
+// engines must still agree byte for byte.
+func TestSessionReorderHeavyEngineParity(t *testing.T) {
+	type outcome struct {
+		out     []int
+		reports []dynamic.StepReport
+		stats   dynamic.Stats
+		stream  fault.StreamStats
+	}
+	run := func(parallel bool) outcome {
+		rng := rand.New(rand.NewSource(17))
+		g := graph.GNP(40, 0.12, rng)
+		s, err := dynamic.Open(g, dynamic.Config{Problem: "mis", Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := randomBatches("mis", g, 10, rng)
+		sp := &fault.StreamPolicy{
+			Seed: 23, Duplicate: 0.3, Reorder: 0.9,
+			StepFault: 0.4, Step: fault.Policy{Drop: 0.3},
+		}
+		reports, stats, err := s.ApplyStream(batches, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Reordered == 0 {
+			t.Fatal("reorder-heavy stream had no swaps; the test exercises nothing")
+		}
+		verifyOut(t, "mis", s.Graph(), s.Output())
+		return outcome{s.Output(), reports, s.Close(), stats}
+	}
+	seq, pool := run(false), run(true)
+	if !reflect.DeepEqual(seq, pool) {
+		t.Fatalf("engine modes disagree under a reorder-heavy stream:\nseq  %+v\npool %+v", seq, pool)
+	}
+}
+
 func TestSessionStreamChaosConverges(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	g := graph.GNP(50, 0.1, rng)

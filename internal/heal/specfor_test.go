@@ -2,6 +2,7 @@ package heal_test
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/graph"
@@ -75,4 +76,62 @@ func TestWidenCarveGrowsResidualByHops(t *testing.T) {
 	if _, res := heal.WidenCarve(g, full, 5, heal.CarveMIS); len(res) != 0 {
 		t.Fatalf("widening a complete solution produced residual %v", res)
 	}
+}
+
+// TestWidenCarveDegenerateInputs pins WidenCarve's contract at the edges of
+// its domain: zero (and negative) hops must be a pure re-carve, a ball that
+// swallows the whole graph must leave everything undecided, and a
+// single-node graph must round-trip both the decided and undecided cases.
+func TestWidenCarveDegenerateInputs(t *testing.T) {
+	t.Run("zero hops is a pure re-carve", func(t *testing.T) {
+		g := graph.Line(9)
+		partial := make([]int, 9)
+		for v := range partial {
+			if v%2 == 0 {
+				partial[v] = 1
+			}
+		}
+		partial[4] = verify.Undecided
+		before := append([]int(nil), partial...)
+		direct, directRes := heal.CarveMIS(g, partial)
+		for _, hops := range []int{0, -3} {
+			widened, res := heal.WidenCarve(g, partial, hops, heal.CarveMIS)
+			if !reflect.DeepEqual(widened, direct) || !reflect.DeepEqual(res, directRes) {
+				t.Fatalf("hops=%d: WidenCarve diverged from a direct carve:\n got %v %v\nwant %v %v",
+					hops, widened, res, direct, directRes)
+			}
+		}
+		if !reflect.DeepEqual(partial, before) {
+			t.Fatalf("WidenCarve mutated its input: %v -> %v", before, partial)
+		}
+	})
+
+	t.Run("ball covering the whole graph demotes every node", func(t *testing.T) {
+		g := graph.Line(5)
+		partial := []int{1, 0, verify.Undecided, 0, 1}
+		widened, res := heal.WidenCarve(g, partial, 10, heal.CarveMIS)
+		if len(res) != g.N() {
+			t.Fatalf("residual covers %d of %d nodes; a 10-hop ball on Line(5) must swallow the graph", len(res), g.N())
+		}
+		for v, p := range widened {
+			if p != verify.Undecided {
+				t.Fatalf("node %d survived a whole-graph widening with value %d", v, p)
+			}
+		}
+	})
+
+	t.Run("single-node graph", func(t *testing.T) {
+		g := graph.Line(1)
+		widened, res := heal.WidenCarve(g, []int{verify.Undecided}, 3, heal.CarveMIS)
+		if len(res) != 1 || res[0] != 0 || widened[0] != verify.Undecided {
+			t.Fatalf("undecided singleton: got widened=%v residual=%v, want the node back in the residual", widened, res)
+		}
+		widened, res = heal.WidenCarve(g, []int{1}, 3, heal.CarveMIS)
+		if len(res) != 0 || widened[0] != 1 {
+			t.Fatalf("decided singleton: got widened=%v residual=%v, want the decision kept and no residual", widened, res)
+		}
+		if err := verify.MIS(g, widened); err != nil {
+			t.Fatalf("decided singleton is not a valid MIS after widening: %v", err)
+		}
+	})
 }

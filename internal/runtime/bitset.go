@@ -12,16 +12,22 @@ func newBitset(n int) bitset {
 }
 
 // set marks bit i.
+//
+//dgp:hotpath
 func (b bitset) set(i int) {
 	b[uint(i)>>6] |= 1 << (uint(i) & 63)
 }
 
 // clear unmarks bit i.
+//
+//dgp:hotpath
 func (b bitset) clear(i int) {
 	b[uint(i)>>6] &^= 1 << (uint(i) & 63)
 }
 
 // test reports whether bit i is set.
+//
+//dgp:hotpath
 func (b bitset) test(i int) bool {
 	return b[uint(i)>>6]&(1<<(uint(i)&63)) != 0
 }

@@ -599,6 +599,8 @@ func newState(cfg Config, g *graph.Graph, n int, crashes map[int]int) *state {
 // beginRound applies the round's scheduled crashes, compacts the active
 // lists, and resets the per-round staging of every live node. All work is
 // O(live frontier + crashes this round).
+//
+//dgp:hotpath
 func (st *state) beginRound(round int) {
 	if st.trace != nil {
 		st.trace.Emit(obs.Event{Type: obs.EvRoundStart, Round: round, Value: int64(st.activeCount)})
@@ -649,6 +651,8 @@ func (st *state) beginRound(round int) {
 // searchIDs returns the position of id in the ascending slice a, or len(a)
 // if absent (caller re-checks the value). Hand-rolled so the send hot path
 // never allocates a comparison closure.
+//
+//dgp:hotpath
 func searchIDs(a []int, id int) int {
 	lo, hi := 0, len(a)
 	for lo < hi {
@@ -665,6 +669,8 @@ func searchIDs(a []int, id int) int {
 // callSend invokes machine i's Send with panic containment: a panic is
 // recorded as a per-node ErrMachinePanic instead of unwinding into the
 // engine (or a pool worker goroutine, which would crash the process).
+//
+//dgp:hotpath
 func (st *state) callSend(i int) (outs []Out, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -676,6 +682,8 @@ func (st *state) callSend(i int) (outs []Out, ok bool) {
 }
 
 // callReceive is callSend's Receive-phase counterpart.
+//
+//dgp:hotpath
 func (st *state) callReceive(i int) (ok bool) {
 	e := &st.envs[i]
 	e.inReceive = true
@@ -690,6 +698,7 @@ func (st *state) callReceive(i int) (ok bool) {
 	return true
 }
 
+//dgp:hotpath
 func (st *state) sendPhase(i int) {
 	e := &st.envs[i]
 	e.bcastSet = false
@@ -760,6 +769,7 @@ func (st *state) sendPhase(i int) {
 	}
 }
 
+//dgp:hotpath
 func (st *state) receivePhase(i int) {
 	if st.terminatedThisSend[i] {
 		return
@@ -788,6 +798,8 @@ func (st *state) receivePhase(i int) {
 // per-message append routing produced them, and the adversary and trace
 // observe the identical per-message call and event sequence — the parity
 // and trace-golden tests pin both.
+//
+//dgp:hotpath
 func (st *state) route(round int, res *Result) {
 	st.roundMsgs, st.roundBits = 0, 0
 	st.roundDropped, st.roundDroppedBits = 0, 0
@@ -926,6 +938,8 @@ func (st *state) route(round int, res *Result) {
 
 // place writes one recorded-fate message into destination j's arena region
 // and returns the advanced fate cursor.
+//
+//dgp:hotpath
 func (st *state) place(from, j int, payload Payload, fi int) int {
 	copies := int(st.fateCopies[fi])
 	if swap := st.fateSwap[fi]; swap != nil {
@@ -947,6 +961,8 @@ func (st *state) place(from, j int, payload Payload, fi int) int {
 // account books count delivered copies of payload: the sender's trace batch,
 // the round and result message ledgers, and the MaxMsgBits / LOCAL-only
 // accumulators. One call covers a whole uniform batch.
+//
+//dgp:hotpath
 func (st *state) account(payload Payload, count int, batchMsgs, batchBits *int, res *Result) {
 	*batchMsgs += count
 	res.Messages += count
@@ -972,6 +988,8 @@ func (st *state) account(payload Payload, count int, batchMsgs, batchBits *int, 
 // for the placement pass. The call sequence — senders by ascending
 // identifier, each sender's messages in send order — is identical in both
 // engine modes and identical to the legacy per-message router.
+//
+//dgp:hotpath
 func (st *state) consultAdversary(round, from, j int, payload Payload, res *Result, tr *obs.Recorder) (int, Payload) {
 	to := st.envs[j].info.ID
 	fate := st.cfg.Adversary.Intercept(round, from, to, payload)
@@ -1022,6 +1040,7 @@ func (st *state) consultAdversary(round, from, j int, payload Payload, res *Resu
 	return copies, payload
 }
 
+//dgp:hotpath
 func (st *state) endRound(round int, res *Result) {
 	if st.trace != nil {
 		st.drainNotes(round)
@@ -1080,6 +1099,8 @@ func outputEvent(round int, e *Env) obs.Event {
 // node-index order over the live frontier. It runs on the main goroutine
 // strictly after a phase barrier, which is what makes worker-goroutine
 // staging race-free and the emission order identical across engine modes.
+//
+//dgp:hotpath
 func (st *state) drainNotes(round int) {
 	for _, si := range st.actByIdx {
 		e := &st.envs[si]
@@ -1092,6 +1113,8 @@ func (st *state) drainNotes(round int) {
 
 // firstError returns the first per-node error in node-index order (actByIdx
 // is index-sorted, so the reported error is deterministic across modes).
+//
+//dgp:hotpath
 func (st *state) firstError() error {
 	for _, si := range st.actByIdx {
 		if err := st.errs[si]; err != nil {
@@ -1131,6 +1154,8 @@ func (st *state) phase(fn func(int), round int, name string) error {
 
 // runPhase executes phase(i) for every node on the live frontier: on the
 // persistent pool in Parallel mode, inline otherwise.
+//
+//dgp:hotpath
 func (st *state) runPhase(phase func(int)) {
 	if st.pool != nil {
 		st.pool.run(phase, st.actByIdx)
@@ -1184,6 +1209,8 @@ func newWorkerPool(n int) *workerPool {
 
 // run executes phase on every worker's share of the frontier and returns
 // once all workers have finished (the barrier).
+//
+//dgp:hotpath
 func (p *workerPool) run(phase func(int), nodes []int32) {
 	chunk := (len(nodes) + len(p.work) - 1) / len(p.work)
 	if chunk < 1 {

@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -85,6 +87,47 @@ func TestPlanStreamStatsMatchPlan(t *testing.T) {
 				t.Fatalf("duplicate derived step seed %d", s.Step.Seed)
 			}
 			seeds[s.Step.Seed] = true
+		}
+	}
+}
+
+// TestPlanStreamReorderHeavyDeterminism pins the reproducibility contract
+// where it is most fragile: a reorder-dominated policy makes nearly every
+// slot's position depend on the PRNG draw sequence, so any hidden source of
+// nondeterminism (map iteration, draw-order drift) would scramble the plan.
+// The same seed must yield a byte-identical plan on every one of 100 runs.
+func TestPlanStreamReorderHeavyDeterminism(t *testing.T) {
+	p := StreamPolicy{
+		Seed:      11,
+		Drop:      0.1,
+		Duplicate: 0.2,
+		Reorder:   0.95,
+		StepFault: 0.4,
+		Step:      Policy{Drop: 0.3, Corrupt: 0.2},
+	}
+	// render flattens a plan to bytes, dereferencing the per-slot policies so
+	// the comparison is by value, not by pointer identity.
+	render := func(slots []StreamSlot, stats StreamStats) string {
+		var b strings.Builder
+		for _, s := range slots {
+			fmt.Fprintf(&b, "%d/%t", s.Batch, s.Duplicate)
+			if s.Step != nil {
+				fmt.Fprintf(&b, "/%+v", *s.Step)
+			}
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%+v", stats)
+		return b.String()
+	}
+	refSlots, refStats := PlanStream(p, 80)
+	if refStats.Reordered == 0 {
+		t.Fatal("reorder-heavy policy produced no swaps; the test exercises nothing")
+	}
+	ref := render(refSlots, refStats)
+	for run := 1; run < 100; run++ {
+		slots, stats := PlanStream(p, 80)
+		if got := render(slots, stats); got != ref {
+			t.Fatalf("run %d diverged from run 0:\n got %s\nwant %s", run, got, ref)
 		}
 	}
 }

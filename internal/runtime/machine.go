@@ -139,6 +139,8 @@ func (e *Env) Round() int { return e.round }
 // Output assigns (or overwrites) the node's output value. Per the model a
 // node may produce outputs over several rounds (e.g. edge colorings); the
 // value observed at termination is the node's final output.
+//
+//dgp:hotpath
 func (e *Env) Output(v any) {
 	if e.terminated {
 		e.fail(fmt.Errorf("%w: output after termination", ErrProtocol))
@@ -156,6 +158,8 @@ func (e *Env) CurrentOutput() any { return e.output }
 
 // Terminate marks the node as terminated at the end of the current round.
 // A node must have produced an output before terminating.
+//
+//dgp:hotpath
 func (e *Env) Terminate() {
 	if !e.hasOutput {
 		e.fail(fmt.Errorf("%w: terminate without output", ErrProtocol))
@@ -181,6 +185,8 @@ func (e *Env) Tracing() bool { return e.tracing }
 // a span event at the end of the round (or discards it when tracing is
 // off). Safe to call from Send/Receive in both engine modes; annotations
 // surface in deterministic node-index order regardless of Config.Parallel.
+//
+//dgp:hotpath
 func (e *Env) Annotate(name string, value int64) {
 	if !e.tracing {
 		return
@@ -195,6 +201,8 @@ func (e *Env) Annotate(name string, value int64) {
 // from Send (at most once per round) and return nil; calling it from
 // Receive, twice in a round, or alongside returned sends is a protocol
 // error.
+//
+//dgp:hotpath
 func (e *Env) Broadcast(payload Payload) {
 	if e.inReceive {
 		e.fail(fmt.Errorf("%w: Broadcast called during Receive", ErrProtocol))
