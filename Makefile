@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke dynamic-smoke all
+.PHONY: build test race lint lint-fixtures fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke dynamic-smoke shard-smoke all
 
 all: build lint test
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ ./internal/core/
+	$(GO) test -race ./internal/runtime/ ./internal/core/ ./internal/shard/
 
 # The problem/algorithm registry (also the README's algorithm table).
 list:
@@ -66,6 +66,19 @@ fuzz-smoke:
 	$(GO) test ./internal/runtime -run '^$$' -fuzz FuzzAdversaryParity -fuzztime 30s
 	$(GO) test ./internal/heal -run '^$$' -fuzz FuzzCarve -fuzztime 30s
 	$(GO) test . -run '^$$' -fuzz FuzzSessionConvergence -fuzztime 30s
+	$(GO) test . -run '^$$' -fuzz FuzzShardParity -fuzztime 30s
+
+# The sharded engine end to end: a sharded CLI run whose trace must match
+# the unsharded engine's byte for byte (the determinism contract), then the
+# CH8 boundary-traffic sweep at 100k nodes on both engine modes.
+shard-smoke:
+	$(GO) build -o /tmp/dgp-run ./cmd/dgp-run
+	$(GO) build -o /tmp/dgp-trace ./cmd/dgp-trace
+	/tmp/dgp-run -problem mis -graph gnp -n 120 -seed 9 -flips 12 -chaos 0.3 -heal -trace /tmp/unsharded.jsonl
+	/tmp/dgp-run -problem mis -graph gnp -n 120 -seed 9 -flips 12 -chaos 0.3 -heal -shards 4 -trace /tmp/sharded.jsonl
+	/tmp/dgp-trace diff -drop shard-exchange /tmp/unsharded.jsonl /tmp/sharded.jsonl
+	$(GO) run ./cmd/dgp-bench -shards 1,2,4,8
+	$(GO) run ./cmd/dgp-bench -shards 1,2,4,8 -par
 
 # The dynamic-session path end to end: the update-stream CLI under stream
 # chaos on both engines, then the CH5/CH6 recovery tables (batch-size sweep

@@ -10,6 +10,7 @@
 //	dgp-bench -list            # list experiment ids and titles
 //	dgp-bench -enginestats     # per-round engine instrumentation demo
 //	dgp-bench -enginestats -n 8192 -par
+//	dgp-bench -shards 1,2,4,8     # sharded-engine boundary-traffic sweep
 //	dgp-bench -chaos           # fault-rate × η degradation sweep
 //	dgp-bench -dynamic         # dynamic-session recovery sweep
 //	dgp-bench -enginestats -metrics -          # Prometheus metrics to stdout
@@ -45,6 +46,7 @@ func run() error {
 	chaos := flag.Bool("chaos", false, "run the fault-rate × η degradation sweep (self-healing runs)")
 	dynamic := flag.Bool("dynamic", false, "run the dynamic-session sweep (recovery vs batch size and vs graph size)")
 	nodes := flag.String("nodes", "", "run the engine scale sweep at these comma-separated node counts (e.g. 100000,1000000,10000000)")
+	shards := flag.String("shards", "", "run the shard sweep at these comma-separated shard counts (e.g. 1,2,4,8)")
 	n := flag.Int("n", 4096, "ring size for -enginestats")
 	par := flag.Bool("par", false, "use the worker-pool engine for -enginestats and -nodes")
 	metrics := flag.String("metrics", "", "with -enginestats or -chaos: write aggregated run metrics to this file ('-' = stdout; a .json suffix selects JSON, otherwise Prometheus text)")
@@ -98,6 +100,9 @@ func run() error {
 	}
 	if *nodes != "" {
 		return runScaleSweep(*nodes, *par)
+	}
+	if *shards != "" {
+		return runShardSweep(*shards, *par)
 	}
 	if *chaos {
 		if err := runChaosSweep(rec); err != nil {

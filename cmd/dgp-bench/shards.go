@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/shard"
+)
+
+// The shard sweep (-shards) measures the sharded engine against shard count:
+// the flood workload on a ring and a Barabási–Albert graph, contiguous and
+// greedy partitions, reporting the partition's edge cut, round throughput,
+// and the boundary traffic the exchange phase actually carried. The CH8
+// table in EXPERIMENTS.md is generated from this sweep. Results are
+// byte-identical across every row of a graph — the sweep varies only where
+// the work runs and what crosses shard boundaries.
+
+const shardSweepN = 100_000
+
+// runShardSweep renders the shard-count table: one row per
+// (graph family, strategy, S).
+func runShardSweep(spec string, parallel bool) error {
+	shardCounts, err := parseShardCounts(spec)
+	if err != nil {
+		return err
+	}
+	t := &bench.Table{
+		ID:      "CH8",
+		Title:   fmt.Sprintf("shard sweep: flood workload, n=%d, %d message rounds, parallel=%v", shardSweepN, scaleRounds, parallel),
+		Columns: []string{"graph", "strategy", "S", "cut edges", "rounds/sec", "boundary msgs/round", "boundary bits/round", "run wall"},
+	}
+	for _, fam := range []struct {
+		name  string
+		build func(n int) *graph.Graph
+	}{
+		{"ring", graph.Ring},
+		{"ba", func(n int) *graph.Graph {
+			return graph.BarabasiAlbert(n, scaleBAEdgeParam, rand.New(rand.NewSource(7)))
+		}},
+	} {
+		g := fam.build(shardSweepN)
+		off, adj := g.CSR()
+		for _, strategy := range []string{"contig", "greedy"} {
+			for _, s := range shardCounts {
+				var part *shard.Partition
+				switch {
+				case s == 1:
+					part = shard.Contiguous(g.N(), 1)
+				case strategy == "contig":
+					part = shard.Contiguous(g.N(), s)
+				default:
+					part = shard.GreedyEdgeCut(g.N(), off, adj, s, 7)
+				}
+				if s == 1 && strategy == "greedy" {
+					continue // S=1 has no cut either way; one row suffices
+				}
+				row, err := measureShardRun(g, part, parallel)
+				if err != nil {
+					return err
+				}
+				t.AddRow(fam.name, strategy, s, part.CutEdges(off, adj),
+					row.roundsPerSec, row.boundaryMsgs, row.boundaryBits, row.wall)
+			}
+		}
+	}
+	t.Note("boundary msgs/bits = per-round average traffic crossing shards in the exchange phase; S=1 and the unsharded engine carry none")
+	t.Note("outputs and traces are byte-identical across all rows of a graph family (the sharding determinism contract)")
+	t.Render(os.Stdout)
+	return nil
+}
+
+type shardRow struct {
+	roundsPerSec string
+	boundaryMsgs string
+	boundaryBits string
+	wall         string
+}
+
+// measureShardRun executes the flood workload once on the given partition
+// and averages the per-shard boundary ledgers over the message rounds.
+func measureShardRun(g *graph.Graph, part *shard.Partition, parallel bool) (shardRow, error) {
+	factory := floodFactory(g.N())
+	boundaryMsgs, boundaryBits := 0, 0
+	start := time.Now()
+	res, err := runtime.Run(runtime.Config{
+		Graph:     g,
+		Factory:   factory,
+		Parallel:  parallel,
+		Shards:    part.S,
+		Partition: part,
+		Stats: func(rs runtime.RoundStats) {
+			for _, ss := range rs.Shards {
+				boundaryMsgs += ss.BoundaryOut
+				boundaryBits += ss.BoundaryOutBits
+			}
+		},
+	})
+	if err != nil {
+		return shardRow{}, err
+	}
+	wall := time.Since(start)
+	rounds := res.Rounds
+	if rounds == 0 {
+		rounds = 1
+	}
+	return shardRow{
+		roundsPerSec: fmt.Sprintf("%.1f", float64(res.Rounds)/wall.Seconds()),
+		boundaryMsgs: fmt.Sprintf("%d", boundaryMsgs/rounds),
+		boundaryBits: fmt.Sprintf("%d", boundaryBits/rounds),
+		wall:         roundDur(wall),
+	}, nil
+}
+
+// parseShardCounts parses the -shards flag: a comma-separated list of shard
+// counts (>= 1; parseSizes is for node counts and floors at 3).
+func parseShardCounts(spec string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-shards %q: %q is not a shard count >= 1", spec, part)
+		}
+		counts = append(counts, v)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-shards %q: no counts", spec)
+	}
+	return counts, nil
+}

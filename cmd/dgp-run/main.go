@@ -42,6 +42,7 @@ func run() error {
 		flips    = flag.Int("flips", 0, "number of perturbed predictions")
 		seed     = flag.Int64("seed", 1, "seed for graphs, predictions, and seeded algorithms")
 		par      = flag.Bool("parallel", false, "use the goroutine engine")
+		shards   = flag.Int("shards", 0, "run the sharded engine with this many shards (0 = unsharded; results are identical for every value)")
 		show     = flag.Bool("show", false, "print the output vector")
 		progress = flag.Bool("progress", false, "print a per-round progress line (active node counts)")
 		traceOut = flag.String("trace", "", "write a JSONL event trace to this file ('-' = stdout); inspect with dgp-trace")
@@ -88,6 +89,7 @@ func run() error {
 	}
 	opts := repro.Options{
 		Parallel:      *par,
+		Shards:        *shards,
 		Seed:          *seed,
 		CongestBits:   *congest,
 		Recover:       *heal,

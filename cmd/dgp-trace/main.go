@@ -174,6 +174,7 @@ func cmdFilter(args []string) error {
 
 func cmdDiff(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	drop := fs.String("drop", "", "comma-separated event types to drop before comparing (e.g. shard-exchange, which legally varies with -shards)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -187,6 +188,22 @@ func cmdDiff(args []string) error {
 	b, err := readTrace(fs.Arg(1))
 	if err != nil {
 		return err
+	}
+	if *drop != "" {
+		dropped := make(map[obs.EventType]bool)
+		for _, t := range strings.Split(*drop, ",") {
+			dropped[obs.EventType(strings.TrimSpace(t))] = true
+		}
+		keep := func(events []obs.Event) []obs.Event {
+			kept := events[:0:0]
+			for _, e := range events {
+				if !dropped[e.Type] {
+					kept = append(kept, e)
+				}
+			}
+			return kept
+		}
+		a, b = keep(a), keep(b)
 	}
 	index, desc, ok := obs.Diff(obs.Canonical(a), obs.Canonical(b))
 	if ok {

@@ -14,6 +14,7 @@ var DeterministicPkgs = []string{
 	"internal/graph",
 	"internal/runtime",
 	"internal/runtime/fault",
+	"internal/shard",
 	"internal/core",
 	"internal/heal",
 	"internal/dynamic",
@@ -40,6 +41,7 @@ var DeterministicPkgs = []string{
 var SeededPkgs = []string{
 	"internal/runtime",
 	"internal/runtime/fault",
+	"internal/shard",
 	"internal/graph",
 	"internal/predict",
 	"internal/tree",
@@ -76,6 +78,7 @@ var SessionPkgs = []string{
 var WrapErrPkgs = []string{
 	"internal/runtime",
 	"internal/runtime/fault",
+	"internal/shard",
 	"internal/core",
 	"internal/heal",
 	"internal/dynamic",

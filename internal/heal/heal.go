@@ -323,6 +323,8 @@ func RunRecovered(cfg runtime.Config, spec Spec) (*Report, error) {
 		Factory:     spec.HealFactory,
 		Predictions: preds,
 		Parallel:    cfg.Parallel,
+		Shards:      cfg.Shards,
+		Partition:   cfg.Partition,
 		MaxRounds:   spec.HealMaxRounds,
 		Trace:       tr,
 	})

@@ -86,6 +86,14 @@ const (
 	// Value = update count; Aux = nodes whose adjacency actually changed;
 	// Err = rejection cause.
 	EvUpdate EventType = "update"
+	// EvShardExchange is one shard's delivery ledger for a round of a
+	// multi-shard run. Node = the shard index (not a node identifier);
+	// Name = delivered | injected | boundary; Value = messages, Aux = their
+	// sized payload bits. "delivered"/"injected" ledger traffic arriving at
+	// the shard, "boundary" traffic it exported across the cut. Ledgers are
+	// shard-count-dependent by nature, so the cross-shard-count trace parity
+	// contract compares streams with EvShardExchange filtered out.
+	EvShardExchange EventType = "shard-exchange"
 	// EvRetry marks a failed incremental step escalating one rung on the
 	// degradation ladder. Name = the next rung (widen | full); Value = the
 	// 0-based attempt that failed; Err = the failure cause (an aborted run or

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -410,6 +411,10 @@ func Aggregate(events []Event) *Registry {
 			}
 		case EvRetry:
 			reg.Counter("dgp_session_retries_total{rung=\"" + e.Name + "\"}").Inc()
+		case EvShardExchange:
+			shard := strconv.Itoa(e.Node)
+			reg.Counter("dgp_shard_messages_total{shard=\"" + shard + "\",kind=\"" + e.Name + "\"}").Add(e.Value)
+			reg.Counter("dgp_shard_bits_total{shard=\"" + shard + "\",kind=\"" + e.Name + "\"}").Add(e.Aux)
 		}
 	}
 	return reg

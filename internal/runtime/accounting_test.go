@@ -100,7 +100,7 @@ func TestBatchedVsPerMessageAccounting(t *testing.T) {
 			for i := range batchStats {
 				b, p := batchStats[i], perMsgStats[i]
 				b.Duration, p.Duration = 0, 0 // wall clock is the only legitimate difference
-				if b != p {
+				if !reflect.DeepEqual(b, p) {
 					t.Errorf("round %d stats differ:\nbatched:     %+v\nper-message: %+v", b.Round, b, p)
 				}
 			}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // Config describes one execution of a distributed algorithm.
@@ -24,8 +25,23 @@ type Config struct {
 	// Parallel selects the worker-pool engine: a pool of goroutines is
 	// created once per Run and executes the send/receive phases of every
 	// round via phase signals, with a barrier between phases. Both engines
-	// have identical semantics.
+	// have identical semantics. Combined with Shards, each shard engine gets
+	// its own pool splitting GOMAXPROCS.
 	Parallel bool
+	// Shards, when positive, selects the sharded engine: the graph is
+	// partitioned into Shards node sets (contiguous index ranges unless
+	// Partition overrides the strategy) and each shard runs its phases on an
+	// independent shard engine with its own inbox arena and frontier lists,
+	// exchanging boundary-edge message batches at the round barrier. The
+	// determinism contract extends across shard counts: results, error
+	// surfaces, and trace streams (EvShardExchange ledgers excepted) are
+	// identical for every Shards value, including 0 (the single-engine
+	// path). See internal/runtime/shard.go.
+	Shards int
+	// Partition, when non-nil, fixes the node→shard assignment (e.g.
+	// shard.GreedyEdgeCut); its shard count must agree with Shards when both
+	// are set. nil with Shards > 0 selects shard.Contiguous.
+	Partition *shard.Partition
 	// MaxRounds caps the execution; 0 selects 8*n + 64, a generous bound for
 	// every algorithm in this repository (all are O(n)-round or better).
 	MaxRounds int
@@ -96,6 +112,25 @@ type RoundStats struct {
 	InjectedBits int
 	// Corrupted counts deliveries whose payload the adversary replaced.
 	Corrupted int
+	// Shards holds the per-shard delivery ledgers of a multi-shard round
+	// (Config.Shards >= 2; nil otherwise — a single shard's ledger is the
+	// global fields above). Indexed by shard; the slice is reused across
+	// rounds, copy to keep.
+	Shards []ShardRoundStats
+}
+
+// ShardRoundStats is one shard's slice of a round's delivery ledgers
+// (RoundStats.Shards). Delivered/Injected split exactly like the global
+// fields: injected copies are real deliveries and appear in both. Boundary
+// fields ledger the traffic this shard exported across the partition cut —
+// the per-round cost of the exchange phase.
+type ShardRoundStats struct {
+	Delivered       int
+	DeliveredBits   int
+	Injected        int
+	InjectedBits    int
+	BoundaryOut     int
+	BoundaryOutBits int
 }
 
 // Result reports the outcome of a run.
@@ -192,6 +227,21 @@ func Run(cfg Config) (*Result, error) {
 	if err := validCrashes(crashes, n, "Config.Crashes"); err != nil {
 		return nil, err
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: Config.Shards = %d; must be >= 0", ErrConfig, cfg.Shards)
+	}
+	part := cfg.Partition
+	if part != nil {
+		if err := part.Validate(n); err != nil {
+			return nil, fmt.Errorf("%w: Config.Partition: %v", ErrConfig, err)
+		}
+		if cfg.Shards != 0 && cfg.Shards != part.S {
+			return nil, fmt.Errorf("%w: Config.Shards = %d but Config.Partition has %d shards",
+				ErrConfig, cfg.Shards, part.S)
+		}
+	} else if cfg.Shards > 0 {
+		part = shard.Contiguous(n, cfg.Shards)
+	}
 	if cfg.Adversary != nil {
 		adv := cfg.Adversary.Crashes(n)
 		if err := validCrashes(adv, n, "Adversary.Crashes"); err != nil {
@@ -216,12 +266,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	st := newState(cfg, g, n, crashes)
-	if cfg.Parallel {
+	if part != nil {
+		st.initLanes(part)
+		// A deadline abort abandons the in-flight phase goroutine, which may
+		// still be dispatching on the lanes' (or pool's) channels; closing
+		// them underneath it would race, so abandoned lanes leak with it.
+		defer func() {
+			if !st.poolAbandoned {
+				st.closeLanes()
+			}
+		}()
+	} else if cfg.Parallel {
 		st.pool = newWorkerPool(n)
 		if st.pool != nil {
-			// A deadline abort abandons the in-flight phase goroutine, which
-			// may still be dispatching on the pool's channels; closing them
-			// underneath it would race, so the abandoned pool leaks with it.
 			defer func() {
 				if !st.poolAbandoned {
 					st.pool.close()
@@ -263,7 +320,11 @@ func Run(cfg Config) (*Result, error) {
 			st.traceAbort(round, res, err, "send", true)
 			return nil, err
 		}
-		st.route(round, res)
+		if len(st.lanes) > 1 {
+			st.routeSharded(round, res)
+		} else {
+			st.route(round, res)
+		}
 		if err := st.phase(st.receiveFn, round, "receive"); err != nil {
 			st.traceAbort(round, res, err, "receive", false)
 			return nil, err
@@ -296,6 +357,7 @@ func Run(cfg Config) (*Result, error) {
 				Injected:     st.roundInjected,
 				InjectedBits: st.roundInjectedBits,
 				Corrupted:    st.roundCorrupted,
+				Shards:       st.shardStats,
 			})
 		}
 		if cfg.Observer != nil {
@@ -448,9 +510,20 @@ type state struct {
 	terminatedThisSend []bool
 	// pool is the persistent worker pool (Parallel mode only; nil otherwise);
 	// poolAbandoned marks that a deadline abort left a phase goroutine alive
-	// on it, so Run must not close it.
+	// on it (or on the lanes' channels), so Run must not close either.
 	pool          *workerPool
 	poolAbandoned bool
+
+	// lanes/laneOf/exch/shardStats/laneDone are the shard supervisor's state
+	// (Config.Shards; nil/empty on the single-engine path). lanes[s] is
+	// shard s's engine, laneOf maps node index to shard, exch is the
+	// boundary-batch fabric, shardStats the per-shard round ledgers, and
+	// laneDone the supervisor's barrier channel. See shard.go.
+	lanes      []*laneState
+	laneOf     []int32
+	exch       *shard.Exchange[slotMsg]
+	shardStats []ShardRoundStats
+	laneDone   chan struct{}
 	// sendFn/receiveFn are the phase functions, bound once so the per-round
 	// phase dispatch does not allocate method-value closures.
 	sendFn    func(int)
@@ -646,6 +719,9 @@ func (st *state) beginRound(round int) {
 		}
 	}
 	st.actByID = st.actByID[:k]
+	if st.lanes != nil {
+		st.compactLanes()
+	}
 }
 
 // searchIDs returns the position of id in the ascending slice a, or len(a)
@@ -694,8 +770,20 @@ func (st *state) callReceive(i int) (ok bool) {
 				ErrMachinePanic, e.info.ID, e.round, r)
 		}
 	}()
-	st.mach[i].Receive(e, st.inMsgs[st.inOff[i]:st.inFill[i]])
+	st.mach[i].Receive(e, st.inboxFor(i)[st.inOff[i]:st.inFill[i]])
 	return true
+}
+
+// inboxFor returns the arena holding node i's inbox region for this round:
+// the owning lane's arena on the multi-shard path, the global arena
+// otherwise (single-engine and 1-shard runs share st.inbox).
+//
+//dgp:hotpath
+func (st *state) inboxFor(i int) []Msg {
+	if len(st.lanes) > 1 {
+		return st.lanes[st.laneOf[i]].inMsgs
+	}
+	return st.inMsgs
 }
 
 //dgp:hotpath
@@ -991,6 +1079,25 @@ func (st *state) account(payload Payload, count int, batchMsgs, batchBits *int, 
 //
 //dgp:hotpath
 func (st *state) consultAdversary(round, from, j int, payload Payload, res *Result, tr *obs.Recorder) (int, Payload) {
+	copies, pl, swap := st.interceptFate(round, from, j, payload, res, tr)
+	if copies == 0 {
+		st.fateCopies = append(st.fateCopies, 0)
+		st.fateSwap = append(st.fateSwap, nil)
+		return 0, nil
+	}
+	st.fateCopies = append(st.fateCopies, int32(copies))
+	st.fateSwap = append(st.fateSwap, swap)
+	return copies, pl
+}
+
+// interceptFate is the adversary verdict core shared by the single-engine
+// and sharded counting passes: one Intercept call, the drop/corrupt/inject
+// ledgers, and the fault events. The caller records the returned fate
+// (copies; swap, nil when the payload was untouched) into its replay
+// stream.
+//
+//dgp:hotpath
+func (st *state) interceptFate(round, from, j int, payload Payload, res *Result, tr *obs.Recorder) (int, Payload, Payload) {
 	to := st.envs[j].info.ID
 	fate := st.cfg.Adversary.Intercept(round, from, to, payload)
 	if fate.Drop {
@@ -1007,9 +1114,7 @@ func (st *state) consultAdversary(round, from, j int, payload Payload, res *Resu
 		if tr != nil {
 			tr.Emit(obs.Event{Type: obs.EvFault, Round: round, Node: from, Name: "drop", Value: int64(db), Aux: int64(to)})
 		}
-		st.fateCopies = append(st.fateCopies, 0)
-		st.fateSwap = append(st.fateSwap, nil)
-		return 0, nil
+		return 0, nil, nil
 	}
 	var swap Payload
 	if fate.Payload != nil {
@@ -1035,9 +1140,7 @@ func (st *state) consultAdversary(round, from, j int, payload Payload, res *Resu
 			st.roundInjectedBits += (copies - 1) * bs.Bits()
 		}
 	}
-	st.fateCopies = append(st.fateCopies, int32(copies))
-	st.fateSwap = append(st.fateSwap, swap)
-	return copies, payload
+	return copies, payload, swap
 }
 
 //dgp:hotpath
@@ -1146,17 +1249,22 @@ func (st *state) phase(fn func(int), round int, name string) error {
 	case <-done:
 		return nil
 	case <-timer.C:
-		st.poolAbandoned = st.pool != nil
+		st.poolAbandoned = st.pool != nil || st.lanes != nil
 		return fmt.Errorf("%w: %s phase of round %d ran past %v (%d nodes active); abandoning the run",
 			ErrRoundDeadline, name, round, st.cfg.RoundDeadline, st.activeCount)
 	}
 }
 
-// runPhase executes phase(i) for every node on the live frontier: on the
-// persistent pool in Parallel mode, inline otherwise.
+// runPhase executes phase(i) for every node on the live frontier: across
+// the shard lanes in sharded mode, on the persistent pool in Parallel mode,
+// inline otherwise.
 //
 //dgp:hotpath
 func (st *state) runPhase(phase func(int)) {
+	if st.lanes != nil {
+		st.lanePhase(phase)
+		return
+	}
 	if st.pool != nil {
 		st.pool.run(phase, st.actByIdx)
 		return
@@ -1184,7 +1292,13 @@ type workerPool struct {
 }
 
 func newWorkerPool(n int) *workerPool {
-	workers := runtime.GOMAXPROCS(0)
+	return newWorkerPoolN(n, runtime.GOMAXPROCS(0))
+}
+
+// newWorkerPoolN builds a pool of at most workers goroutines for n nodes
+// (nil when one worker would remain — the caller runs inline). The sharded
+// engine uses it to split GOMAXPROCS across per-lane pools.
+func newWorkerPoolN(n, workers int) *workerPool {
 	if workers > n {
 		workers = n
 	}

@@ -59,12 +59,13 @@ func (m *ringBench) Receive(env *runtime.Env, inbox []runtime.Msg) {
 	m.heard += len(inbox)
 }
 
-func runRing(tb testing.TB, g *graph.Graph, rounds int, parallel, batched bool) *runtime.Result {
+func runRing(tb testing.TB, g *graph.Graph, rounds int, parallel, batched bool, shards int) *runtime.Result {
 	tb.Helper()
 	res, err := runtime.Run(runtime.Config{
 		Graph:     g,
 		Factory:   ringBenchFactory(rounds, batched),
 		Parallel:  parallel,
+		Shards:    shards,
 		MaxRounds: rounds + 8,
 	})
 	if err != nil {
@@ -87,11 +88,16 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		name     string
 		parallel bool
 		batched  bool
-	}{{"seq", false, false}, {"par", true, false}, {"seq-bcast", false, true}, {"par-bcast", true, true}} {
+		shards   int
+	}{
+		{"seq", false, false, 0}, {"par", true, false, 0},
+		{"seq-bcast", false, true, 0}, {"par-bcast", true, true, 0},
+		{"shard4", false, false, 4}, {"shard4-par", true, false, 4},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				runRing(b, g, rounds, mode.parallel, mode.batched)
+				runRing(b, g, rounds, mode.parallel, mode.batched, mode.shards)
 			}
 		})
 	}
@@ -108,30 +114,38 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	}
 	const n = 4096
 	g := graph.Ring(n)
-	measure := func(rounds int, parallel, batched bool) float64 {
+	measure := func(rounds int, parallel, batched bool, shards int) float64 {
 		return testing.AllocsPerRun(3, func() {
-			runRing(t, g, rounds, parallel, batched)
+			runRing(t, g, rounds, parallel, batched, shards)
 		})
 	}
 	for _, mode := range []struct {
 		name     string
 		parallel bool
 		batched  bool
+		shards   int
 		budget   float64
 	}{
 		// The columnar layout reuses the CSR arrays, inbox slab, and fate
 		// buffers across rounds: steady state measures 0 allocs/round on
 		// every mode. The budgets are GC-noise headroom, not permission to
 		// regress toward per-message allocation.
-		{"seq", false, false, 8},
-		{"par", true, false, 16},
+		{"seq", false, false, 0, 8},
+		{"par", true, false, 0, 16},
 		// The Env.Broadcast fast path never materializes an outbox at all:
 		// the engine walks the CSR neighbor range directly.
-		{"seq-bcast", false, true, 8},
-		{"par-bcast", true, true, 16},
+		{"seq-bcast", false, true, 0, 8},
+		{"par-bcast", true, true, 0, 16},
+		// Sharded modes: a single shard takes the legacy route through one
+		// lane and must hold the same ~0 figure; multi-shard rounds reuse the
+		// lane slabs, boundary-batch frames, and cursor streams, so steady
+		// state stays ~0 there too (the wider budget is barrier/GC noise).
+		{"shard1", false, false, 1, 8},
+		{"shard4", false, false, 4, 24},
+		{"shard4-par", true, false, 4, 32},
 	} {
-		short := measure(10, mode.parallel, mode.batched)
-		long := measure(210, mode.parallel, mode.batched)
+		short := measure(10, mode.parallel, mode.batched, mode.shards)
+		long := measure(210, mode.parallel, mode.batched, mode.shards)
 		perRound := (long - short) / 200
 		t.Logf("%s: %.1f allocs over 10 rounds, %.1f over 210 -> %.3f allocs/round",
 			mode.name, short, long, perRound)

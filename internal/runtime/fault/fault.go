@@ -14,8 +14,10 @@ package fault
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/runtime"
+	"repro/internal/shard"
 )
 
 // DefaultHorizon is the default latest round for seeded crash and link
@@ -50,6 +52,18 @@ type Policy struct {
 	// CrashBy is the latest round a crashing node can die (DefaultHorizon
 	// when zero).
 	CrashBy int
+	// Partition, when non-nil, enables shard-level faults: whole shards of
+	// the attached partition going dark (every node of the shard crashing at
+	// the same round). LoseShards schedules them explicitly — shard index to
+	// 1-based crash round — and ShardLoss draws additional losses at random:
+	// each shard independently goes dark with that probability at a seeded
+	// round in [1, ShardLossBy] (DefaultHorizon when zero). Shard-loss
+	// crashes merge with per-node Crash draws; the earlier round wins, per
+	// the engine's schedule-merge rule.
+	Partition   *shard.Partition
+	LoseShards  map[int]int
+	ShardLoss   float64
+	ShardLossBy int
 }
 
 // Stats counts the faults a Chaos actually injected.
@@ -63,8 +77,12 @@ type Stats struct {
 	Corrupted int
 	// FailedLinks counts undirected links scheduled to fail.
 	FailedLinks int
-	// Crashed counts nodes scheduled to crash.
+	// Crashed counts nodes scheduled to crash, including nodes lost with
+	// their shard.
 	Crashed int
+	// LostShards counts whole shards scheduled to go dark (explicit
+	// LoseShards entries plus seeded ShardLoss draws).
+	LostShards int
 }
 
 // Garbage is the corrupted-payload stand-in: an unrecognizable payload that
@@ -99,23 +117,74 @@ func New(p Policy) *Chaos {
 }
 
 // Crashes implements runtime.Adversary: each node independently crashes
-// with probability Policy.Crash at a seeded round in [1, CrashBy].
+// with probability Policy.Crash at a seeded round in [1, CrashBy], and —
+// when a Partition is attached — whole shards go dark per the LoseShards
+// schedule and the seeded ShardLoss draws. Per-node draws happen first, in
+// node order, then shard draws in shard order, so enabling shard loss never
+// perturbs an existing seed's per-node schedule. When a node is claimed by
+// both, the earlier crash round wins.
 func (c *Chaos) Crashes(n int) map[int]int {
-	if c.p.Crash <= 0 {
-		return nil
-	}
-	by := c.p.CrashBy
-	if by < 1 {
-		by = DefaultHorizon
-	}
 	var out map[int]int
-	for i := 0; i < n; i++ {
-		if c.rng.Float64() < c.p.Crash {
-			if out == nil {
-				out = make(map[int]int)
+	if c.p.Crash > 0 {
+		by := c.p.CrashBy
+		if by < 1 {
+			by = DefaultHorizon
+		}
+		for i := 0; i < n; i++ {
+			if c.rng.Float64() < c.p.Crash {
+				if out == nil {
+					out = make(map[int]int)
+				}
+				out[i] = 1 + c.rng.Intn(by)
+				c.stats.Crashed++
 			}
-			out[i] = 1 + c.rng.Intn(by)
+		}
+	}
+	if part := c.p.Partition; part != nil {
+		// Explicit schedule first (shards ascending, for a deterministic
+		// draw-free order), then the seeded draws.
+		shards := make([]int, 0, len(c.p.LoseShards))
+		for s := range c.p.LoseShards {
+			shards = append(shards, s)
+		}
+		sort.Ints(shards)
+		for _, s := range shards {
+			out = c.loseShard(out, part, s, c.p.LoseShards[s])
+		}
+		if c.p.ShardLoss > 0 {
+			by := c.p.ShardLossBy
+			if by < 1 {
+				by = DefaultHorizon
+			}
+			for s := 0; s < part.S; s++ {
+				if c.rng.Float64() < c.p.ShardLoss {
+					out = c.loseShard(out, part, s, 1+c.rng.Intn(by))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loseShard schedules every node of shard s to crash at round, merging with
+// any existing schedule (earlier round wins) and booking the stats. Nodes
+// newly claimed count as crashed; a shard with no nodes still counts as
+// lost.
+func (c *Chaos) loseShard(out map[int]int, part *shard.Partition, s, round int) map[int]int {
+	if s < 0 || s >= part.S {
+		return out
+	}
+	c.stats.LostShards++
+	for _, i := range part.Nodes[s] {
+		if out == nil {
+			out = make(map[int]int)
+		}
+		cur, seen := out[int(i)]
+		if !seen {
 			c.stats.Crashed++
+		}
+		if !seen || round < cur {
+			out[int(i)] = round
 		}
 	}
 	return out

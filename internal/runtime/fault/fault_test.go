@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/runtime"
+	"repro/internal/shard"
 )
 
 type sized int
@@ -108,3 +109,78 @@ func TestGarbagePreservesBits(t *testing.T) {
 
 // Compile-time check: Chaos satisfies the engine's Adversary interface.
 var _ runtime.Adversary = (*Chaos)(nil)
+
+// TestShardLossExplicit: an explicit LoseShards schedule crashes exactly the
+// shard's nodes at the given round, draw-free, and books the stats.
+func TestShardLossExplicit(t *testing.T) {
+	part := shard.Contiguous(12, 3) // shards of 4: [0..3], [4..7], [8..11]
+	c := New(Policy{Seed: 1, Partition: part, LoseShards: map[int]int{1: 2}})
+	out := c.Crashes(12)
+	if len(out) != 4 {
+		t.Fatalf("crashed %d nodes, want 4: %v", len(out), out)
+	}
+	for i := 4; i <= 7; i++ {
+		if out[i] != 2 {
+			t.Fatalf("node %d crashes at %d, want 2 (map %v)", i, out[i], out)
+		}
+	}
+	if s := c.Stats(); s.LostShards != 1 || s.Crashed != 4 {
+		t.Fatalf("stats = %+v, want LostShards=1 Crashed=4", s)
+	}
+	// Out-of-range shard indices are ignored.
+	c2 := New(Policy{Seed: 1, Partition: part, LoseShards: map[int]int{7: 1, -1: 1}})
+	if out := c2.Crashes(12); out != nil {
+		t.Fatalf("out-of-range shards crashed nodes: %v", out)
+	}
+}
+
+// TestShardLossSeedStability: attaching an explicit (draw-free) shard-loss
+// schedule must not perturb the per-node crash draws of an existing seed.
+func TestShardLossSeedStability(t *testing.T) {
+	base := Policy{Seed: 42, Crash: 0.3, CrashBy: 6}
+	plain := New(base).Crashes(30)
+	part := shard.Contiguous(30, 3) // shard 2 = nodes 20..29
+	withLoss := base
+	withLoss.Partition = part
+	withLoss.LoseShards = map[int]int{2: 9}
+	merged := New(withLoss).Crashes(30)
+	for i := 0; i < 20; i++ {
+		pr, pok := plain[i]
+		mr, mok := merged[i]
+		if pok != mok || pr != mr {
+			t.Fatalf("node %d schedule perturbed: plain (%d,%v) vs merged (%d,%v)", i, pr, pok, mr, mok)
+		}
+	}
+	// Earlier round wins when a node is claimed by both.
+	for i := 20; i < 30; i++ {
+		want := 9
+		if pr, ok := plain[i]; ok && pr < want {
+			want = pr
+		}
+		if merged[i] != want {
+			t.Fatalf("node %d merged round %d, want %d (plain %v)", i, merged[i], want, plain[i])
+		}
+	}
+}
+
+// TestShardLossSeeded: ShardLoss draws are reproducible and bounded by
+// ShardLossBy.
+func TestShardLossSeeded(t *testing.T) {
+	part := shard.Contiguous(40, 8)
+	p := Policy{Seed: 9, Partition: part, ShardLoss: 0.5, ShardLossBy: 3}
+	a, b := New(p).Crashes(40), New(p).Crashes(40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded shard loss not reproducible: %v vs %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("ShardLoss=0.5 over 8 shards lost nothing; pick another seed")
+	}
+	for i, r := range a {
+		if r < 1 || r > 3 {
+			t.Fatalf("node %d crash round %d outside [1, ShardLossBy=3]", i, r)
+		}
+	}
+	if len(a)%5 != 0 {
+		t.Fatalf("crashed node count %d is not a multiple of the shard size 5", len(a))
+	}
+}

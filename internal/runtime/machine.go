@@ -6,13 +6,16 @@
 // local computation, optionally assigns its output, and terminates
 // immediately after producing its last output.
 //
-// The engine offers two execution modes with identical semantics: a
-// sequential mode and a parallel mode that runs the per-node send and receive
+// The engine offers three execution modes with identical semantics: a
+// sequential mode; a parallel mode that runs the per-node send and receive
 // phases on a persistent pool of goroutines (created once per run, signalled
-// each phase, with a barrier between phases). Both modes are deterministic
-// and produce identical results; tests assert this. Engine buffers (inboxes,
-// routing state) are recycled across rounds, so steady-state rounds allocate
-// nothing in the engine itself.
+// each phase, with a barrier between phases); and a sharded mode
+// (Config.Shards/Config.Partition, see shard.go) that splits the round loop
+// into per-shard lanes exchanging boundary-edge message batches at the round
+// barrier. All modes are deterministic and produce byte-identical results
+// and traces; tests and FuzzShardParity assert this. Engine buffers
+// (inboxes, routing state, lane slabs, exchange frames) are recycled across
+// rounds, so steady-state rounds allocate nothing in the engine itself.
 //
 // Message sizes are accounted when payloads implement BitSized, allowing
 // CONGEST-model bandwidth checks for the algorithms that fit in O(log n) bits.

@@ -1,0 +1,73 @@
+package shard
+
+// Batch is one shard's boundary traffic to one destination shard for one
+// round, in the sending shard's canonical emission order (its senders by
+// ascending identifier, each sender's messages in send order).
+type Batch[M any] struct {
+	// Src is the sending shard.
+	Src int
+	// Msgs are the boundary messages; nil when the pair exchanged nothing.
+	Msgs []M
+}
+
+// Exchange is the typed-channel boundary fabric between S shard engines.
+// Each shard owns one inbound channel; a round's exchange is: every shard
+// Posts exactly one batch (possibly empty) to every other shard, then
+// Collects its S-1 inbound batches. Collect hands the batches back indexed
+// by source shard, so the consumer drains them in ascending-source canonical
+// order regardless of goroutine arrival timing — the ordering half of the
+// engine's cross-shard determinism contract (the other half is that slots
+// are assigned before the batches ship).
+//
+// The channels are buffered to hold a full round of traffic, so the
+// post-then-collect protocol cannot deadlock: no Post ever blocks.
+type Exchange[M any] struct {
+	s  int
+	ch []chan Batch[M]
+	// pend[dst] is dst's reusable collection frame, indexed by source shard.
+	pend [][]Batch[M]
+}
+
+// NewExchange builds the fabric for s shards.
+func NewExchange[M any](s int) *Exchange[M] {
+	x := &Exchange[M]{
+		s:    s,
+		ch:   make([]chan Batch[M], s),
+		pend: make([][]Batch[M], s),
+	}
+	for i := range x.ch {
+		x.ch[i] = make(chan Batch[M], s)
+		x.pend[i] = make([]Batch[M], s)
+	}
+	return x
+}
+
+// S reports the shard count the fabric was built for.
+func (x *Exchange[M]) S() int { return x.s }
+
+// Post ships src's boundary batch for the round to dst. The slice is handed
+// over to dst until the next round barrier: the caller must not touch it
+// again before its next Post to dst. Every (src, dst) pair with src ≠ dst
+// must post exactly once per round, empty or not — Collect counts batches,
+// not messages.
+//
+//dgp:hotpath
+func (x *Exchange[M]) Post(src, dst int, msgs []M) {
+	x.ch[dst] <- Batch[M]{Src: src, Msgs: msgs}
+}
+
+// Collect receives the round's S-1 inbound batches for shard dst and
+// returns them indexed by source shard (the dst slot stays empty), giving a
+// canonical ascending-source consumption order. The returned frame is
+// reused by dst's next Collect.
+//
+//dgp:hotpath
+func (x *Exchange[M]) Collect(dst int) []Batch[M] {
+	p := x.pend[dst]
+	p[dst] = Batch[M]{}
+	for k := 0; k < x.s-1; k++ {
+		b := <-x.ch[dst]
+		p[b.Src] = b
+	}
+	return p
+}

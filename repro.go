@@ -36,6 +36,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/runtime"
 	"repro/internal/runtime/fault"
+	"repro/internal/shard"
 	"repro/internal/tree"
 )
 
@@ -144,6 +145,16 @@ const Unmatched = predict.Unmatched
 type Options struct {
 	// Parallel selects the worker-pool engine (identical results).
 	Parallel bool
+	// Shards, when positive, selects the sharded engine: the graph is split
+	// into Shards partitions, each run by an independent shard engine, with
+	// boundary-edge message batches exchanged at the round barrier. Results,
+	// error surfaces, and traces are identical for every value (the
+	// engine-level determinism contract); Shards is a throughput knob, not a
+	// semantic one. Composes with Parallel (per-shard worker pools).
+	Shards int
+	// Partition, when non-nil, fixes the node→shard assignment (see
+	// GreedyPartition); nil with Shards > 0 selects contiguous index ranges.
+	Partition *ShardPartition
 	// MaxRounds caps the execution (0 = 8n+64).
 	MaxRounds int
 	// Seed drives the seeded algorithms (Luby, the decomposition
@@ -213,6 +224,18 @@ type (
 	ChaosStats = fault.Stats
 	// Chaos is the seeded adversary implementing a ChaosPolicy. Single-run.
 	Chaos = fault.Chaos
+	// ShardPartition is a node→shard assignment for the sharded engine.
+	ShardPartition = shard.Partition
+)
+
+// Shard partitioners re-exported for library users.
+var (
+	// ContiguousPartition splits n nodes into s contiguous index ranges —
+	// the sharded engine's default strategy.
+	ContiguousPartition = shard.Contiguous
+	// GreedyPartition is the seeded greedy edge-cut heuristic over a graph's
+	// CSR arrays (see Graph.CSR).
+	GreedyPartition = shard.GreedyEdgeCut
 )
 
 // NewChaos returns a fresh seeded adversary for one run: the same policy
@@ -264,6 +287,8 @@ func buildConfig(g *Graph, factory runtime.Factory, preds []any, opts Options) r
 		Factory:        factory,
 		Predictions:    preds,
 		Parallel:       opts.Parallel,
+		Shards:         opts.Shards,
+		Partition:      opts.Partition,
 		MaxRounds:      opts.MaxRounds,
 		Crashes:        opts.Crashes,
 		MaxMessageBits: opts.CongestBits,

@@ -1,0 +1,127 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// FuzzShardParity is the native-fuzz form of the sharded-engine determinism
+// contract: for any registered problem, algorithm variant, topology, chaos
+// policy, and partition strategy the fuzzer derives from its inputs, the
+// sequential engine and the sharded engine at S in {1, 2, 4, 8} must produce
+// byte-identical outputs, ledgers, chaos fault sequences, error surfaces,
+// and canonical traces (after dropping the S-dependent shard-exchange
+// ledger events, which exist only when S > 1).
+//
+// shape packs the problem/algorithm/topology selectors byte by byte; rates
+// packs the five fault probabilities exactly like FuzzAdversaryParity. The
+// committed corpus (testdata/fuzz/FuzzShardParity) covers every registered
+// problem, both partition strategies, a chaos mix, and a corrupt-heavy
+// error-surface vector.
+func FuzzShardParity(f *testing.F) {
+	// One vector per registered problem (shape low bits = problem index),
+	// clean runs, contiguous partitions.
+	f.Add(int64(11), uint64(0|1<<4|40<<8), uint64(0), false) // ecolor
+	f.Add(int64(12), uint64(1|0<<4|33<<8), uint64(0), false) // matching
+	f.Add(int64(13), uint64(2|0<<4|48<<8), uint64(0), false) // mis
+	f.Add(int64(14), uint64(3|1<<4|30<<8), uint64(0), false) // tree
+	f.Add(int64(15), uint64(4|2<<4|36<<8), uint64(0), false) // vcolor
+	// Chaos mix on mis/gnp with a greedy partition.
+	f.Add(int64(7), uint64(2|3<<4|45<<8|2<<16|2<<20), uint64(0x20_18_18_20_28), true)
+	// Error surface: corrupt-heavy chaos drives template machines to reject
+	// garbage payloads; all engines must fail with the identical error.
+	f.Add(int64(3), uint64(2|0<<4|28<<8|1<<20), uint64(0x00_00_00_a0_00), false)
+	// Prediction errors plus drops on matching.
+	f.Add(int64(21), uint64(1|2<<4|50<<8|4<<16|1<<20), uint64(0x00_00_00_00_30), true)
+	f.Fuzz(func(t *testing.T, seed int64, shape, rates uint64, greedy bool) {
+		problems := repro.Problems()
+		p := problems[int(shape%uint64(len(problems)))]
+		a := p.Algorithms[int((shape>>4)%uint64(len(p.Algorithms)))]
+		n := 8 + int((shape>>8)%57) // 8..64 nodes
+		flips := int((shape >> 16) % 6)
+		gsel := int((shape >> 20) % 3)
+		rng := repro.NewRand(seed)
+		var g *repro.Graph
+		if p.Name == "tree" {
+			g = []*repro.Graph{repro.Line(n), repro.Star(n), repro.RandomTree(n, rng)}[gsel]
+		} else {
+			g = []*repro.Graph{repro.Ring(n), repro.Grid2D(4, (n+3)/4), repro.GNP(n, 0.15, rng)}[gsel]
+		}
+		preds, err := repro.GeneratePreds(p.Name, g, flips, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := func(b int) float64 { return float64((rates>>b)&0xff) / 255 }
+		policy := repro.ChaosPolicy{
+			Seed:      seed,
+			Drop:      frac(0) * 0.4,
+			Duplicate: frac(8) * 0.4,
+			Corrupt:   frac(16) * 0.4,
+			LinkFail:  frac(24) * 0.25,
+			Crash:     frac(32) * 0.25,
+		}
+		chaotic := rates != 0
+		run := func(shards int) (*repro.ProblemResult, error, repro.ChaosStats, []repro.TraceEvent) {
+			tr := repro.NewTraceRecorder(1 << 14)
+			opts := repro.Options{Seed: 5, MaxRounds: 150, Trace: tr, Shards: shards}
+			if shards > 1 && greedy {
+				off, adj := g.CSR()
+				opts.Partition = repro.GreedyPartition(g.N(), off, adj, shards, seed)
+			}
+			var chaos *repro.Chaos
+			if chaotic {
+				chaos = repro.NewChaos(policy) // single-run: fresh per engine mode
+				opts.Adversary = chaos
+			}
+			res, err := repro.RunProblem(g, p.Name, a.Name, preds, opts)
+			var stats repro.ChaosStats
+			if chaos != nil {
+				stats = chaos.Stats()
+			}
+			return res, err, stats, tr.Events()
+		}
+		base, baseErr, baseStats, baseTrace := run(0)
+		baseTrace = dropShardEvents(baseTrace)
+		for _, s := range []int{1, 2, 4, 8} {
+			res, err, stats, trace := run(s)
+			if stats != baseStats {
+				t.Fatalf("S=%d: fault sequences differ: %+v vs %+v", s, stats, baseStats)
+			}
+			if (err == nil) != (baseErr == nil) {
+				t.Fatalf("S=%d: error surfaces differ: %v vs %v", s, err, baseErr)
+			}
+			if err != nil {
+				if err.Error() != baseErr.Error() {
+					t.Fatalf("S=%d: errors differ:\n  seq:   %v\n  shard: %v", s, baseErr, err)
+				}
+				continue
+			}
+			if fmt.Sprint(res.Output, res.EdgeOutput) != fmt.Sprint(base.Output, base.EdgeOutput) {
+				t.Fatalf("S=%d: outputs differ:\nseq:   %v %v\nshard: %v %v",
+					s, base.Output, base.EdgeOutput, res.Output, res.EdgeOutput)
+			}
+			if res.Run.Rounds != base.Run.Rounds || res.Run.Messages != base.Run.Messages ||
+				res.Run.MaxMsgBits != base.Run.MaxMsgBits {
+				t.Fatalf("S=%d: run ledgers differ: %+v vs %+v", s, res.Run, base.Run)
+			}
+			if i, desc, ok := obs.Diff(obs.Canonical(baseTrace), obs.Canonical(dropShardEvents(trace))); !ok {
+				t.Fatalf("S=%d: traces diverge at event %d: %s", s, i, desc)
+			}
+		}
+	})
+}
+
+// dropShardEvents filters the shard-exchange ledger events, which legally
+// vary with the shard count, from a trace before cross-S comparison.
+func dropShardEvents(events []repro.TraceEvent) []repro.TraceEvent {
+	out := events[:0:0]
+	for _, ev := range events {
+		if ev.Type != obs.EvShardExchange {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
