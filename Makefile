@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke dynamic-smoke shard-smoke all
+.PHONY: build test race lint lint-fixtures fmt vet fuzz-smoke list trace-golden alloc-guard bench-smoke dynamic-smoke shard-smoke perf-ledger perf-gate perf-baseline all
 
 all: build lint test
 
@@ -79,6 +79,35 @@ shard-smoke:
 	/tmp/dgp-trace diff -drop shard-exchange /tmp/unsharded.jsonl /tmp/sharded.jsonl
 	$(GO) run ./cmd/dgp-bench -shards 1,2,4,8
 	$(GO) run ./cmd/dgp-bench -shards 1,2,4,8 -par
+
+# The performance ledger (DESIGN.md §13): every sweep also emits a
+# machine-readable BENCH_<experiment>.json, and dgp-perf gates head ledgers
+# against the committed baseline. Deterministic counters (rounds, messages,
+# residuals, boundary traffic) must reproduce exactly; allocs/round has a
+# small noise band; wall-clock metrics are informational only, so the
+# committed baseline is portable across machines.
+PERF_LEDGER_DIR ?= /tmp/perf-ledger
+perf-ledger:
+	$(GO) run ./cmd/dgp-bench -chaos -bench-out $(PERF_LEDGER_DIR) > /dev/null
+	$(GO) run ./cmd/dgp-bench -dynamic -bench-out $(PERF_LEDGER_DIR) > /dev/null
+	$(GO) run ./cmd/dgp-bench -nodes 100000 -bench-out $(PERF_LEDGER_DIR) > /dev/null
+	$(GO) run ./cmd/dgp-bench -shards 1,2,4 -bench-out $(PERF_LEDGER_DIR) > /dev/null
+
+# The CI regression gate: regenerate head ledgers and compare against
+# testdata/perf/baseline; exits non-zero on any regression or coverage loss.
+perf-gate: perf-ledger
+	$(GO) run ./cmd/dgp-perf gate -baseline testdata/perf/baseline $(PERF_LEDGER_DIR)
+
+# Baseline refresh: rerun the sweeps into testdata/perf/baseline and commit
+# the result. Do this when a PR intentionally moves a gated metric (fewer
+# rounds, lower boundary traffic, changed sweep shape) — the dgp-perf compare
+# output belongs in that PR's description.
+perf-baseline:
+	$(GO) run ./cmd/dgp-bench -chaos -bench-out testdata/perf/baseline > /dev/null
+	$(GO) run ./cmd/dgp-bench -dynamic -bench-out testdata/perf/baseline > /dev/null
+	$(GO) run ./cmd/dgp-bench -nodes 100000 -bench-out testdata/perf/baseline > /dev/null
+	$(GO) run ./cmd/dgp-bench -shards 1,2,4 -bench-out testdata/perf/baseline > /dev/null
+	$(GO) run ./cmd/dgp-perf validate testdata/perf/baseline
 
 # The dynamic-session path end to end: the update-stream CLI under stream
 # chaos on both engines, then the CH5/CH6 recovery tables (batch-size sweep

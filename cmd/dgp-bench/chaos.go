@@ -7,6 +7,7 @@ import (
 	"repro"
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/perf"
 )
 
 // runChaosSweep regenerates the fault-rate × η degradation tables in
@@ -18,8 +19,10 @@ import (
 // random trees for the tree problem (whose instances must be acyclic), so
 // every healing problem appears in the tables. It lives in this command (not
 // internal/bench) because it drives the public recovery API. A non-nil
-// recorder captures every run's event trace for -metrics.
-func runChaosSweep(rec *obs.Recorder) error {
+// recorder captures every run's event trace for -metrics; a non-empty
+// benchDir additionally writes the BENCH_chaos.json ledger with one row per
+// (problem, rate, flips) cell.
+func runChaosSweep(rec *obs.Recorder, tel *obs.Telemetry, benchDir string) error {
 	const (
 		n      = 120
 		p      = 0.06
@@ -28,6 +31,12 @@ func runChaosSweep(rec *obs.Recorder) error {
 	rates := []float64{0, 0.1, 0.25, 0.5}
 	flipss := []int{0, 8, 32}
 
+	var ledger *perf.Ledger
+	if benchDir != "" {
+		ledger = perf.New("chaos", map[string]any{
+			"n": n, "p": p, "trials": trials, "rates": rates, "flips": flipss,
+		})
+	}
 	tables := 0
 	for pi, prob := range repro.Problems() {
 		if !prob.CanHeal {
@@ -50,7 +59,7 @@ func runChaosSweep(rec *obs.Recorder) error {
 		for _, rate := range rates {
 			cells := []any{fmt.Sprintf("%.2f", rate)}
 			for _, flips := range flipss {
-				primary, recovery, residual := 0, 0, 0
+				primary, recovery, residual, cellHealed := 0, 0, 0, 0
 				for trial := 0; trial < trials; trial++ {
 					seed := int64(1000*pi + 100*trial + flips)
 					var g *repro.Graph
@@ -66,7 +75,7 @@ func runChaosSweep(rec *obs.Recorder) error {
 					// A modest cap cuts off primaries that drop faults have
 					// wedged (lost notifications break termination detection);
 					// the healing run uses the engine default.
-					opts := repro.Options{MaxRounds: 60, Trace: rec}
+					opts := repro.Options{MaxRounds: 60, Trace: rec, Telemetry: tel}
 					if rate > 0 {
 						opts.Adversary = repro.NewChaos(repro.ChaosPolicy{
 							Seed:      seed + 2,
@@ -83,10 +92,22 @@ func runChaosSweep(rec *obs.Recorder) error {
 					recovery += res.RecoveryRounds
 					residual += res.Residual
 					if res.Healed {
-						healedRuns++
+						cellHealed++
 					}
 				}
+				healedRuns += cellHealed
 				cells = append(cells, fmt.Sprintf("%d+%d rds, %d res", primary/trials, recovery/trials, residual/trials))
+				if ledger != nil {
+					ledger.AddRow(
+						fmt.Sprintf("%s_rate%03d_flips%d", prob.Name, int(rate*100), flips),
+						map[string]string{"problem": prob.Name, "rate": fmt.Sprintf("%.2f", rate), "flips": fmt.Sprint(flips)},
+						map[string]float64{
+							"primary_rounds":  float64(primary) / trials,
+							"recovery_rounds": float64(recovery) / trials,
+							"residual":        float64(residual) / trials,
+							"healed_runs":     float64(cellHealed),
+						})
+				}
 			}
 			t.AddRow(cells...)
 		}
@@ -97,7 +118,13 @@ func runChaosSweep(rec *obs.Recorder) error {
 	}
 	// CH5 and CH6 are the dynamic-session tables (-dynamic); the trajectory
 	// table stays the final CH table after them.
-	return etaTrajectoryTable(tables+3, rec)
+	if err := etaTrajectoryTable(tables+3, rec); err != nil {
+		return err
+	}
+	if ledger != nil {
+		return writeLedger(ledger, benchDir)
+	}
+	return nil
 }
 
 // etaTrajectoryTable traces one self-healing MIS run end to end and renders

@@ -14,6 +14,8 @@
 //	dgp-bench -chaos           # fault-rate × η degradation sweep
 //	dgp-bench -dynamic         # dynamic-session recovery sweep
 //	dgp-bench -enginestats -metrics -          # Prometheus metrics to stdout
+//	dgp-bench -enginestats -metrics - -metrics-format json
+//	dgp-bench -chaos -bench-out perf/          # + BENCH_chaos.json ledger
 //	dgp-bench -chaos -cpuprofile cpu.pprof     # profile the sweep
 package main
 
@@ -29,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mis"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/runtime"
 )
 
@@ -49,10 +52,18 @@ func run() error {
 	shards := flag.String("shards", "", "run the shard sweep at these comma-separated shard counts (e.g. 1,2,4,8)")
 	n := flag.Int("n", 4096, "ring size for -enginestats")
 	par := flag.Bool("par", false, "use the worker-pool engine for -enginestats and -nodes")
-	metrics := flag.String("metrics", "", "with -enginestats or -chaos: write aggregated run metrics to this file ('-' = stdout; a .json suffix selects JSON, otherwise Prometheus text)")
+	metrics := flag.String("metrics", "", "with -enginestats, -chaos, or -dynamic: write aggregated run metrics to this file ('-' = stdout)")
+	metricsFormat := flag.String("metrics-format", "", "metrics format: 'prom' or 'json' (default: a .json suffix on -metrics selects JSON, otherwise Prometheus text)")
+	benchOut := flag.String("bench-out", "", "write the sweep's machine-readable BENCH_<experiment>.json ledger to this directory (sweep modes only; see dgp-perf)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	switch *metricsFormat {
+	case "", "prom", "json":
+	default:
+		return fmt.Errorf("-metrics-format %q: want prom or json", *metricsFormat)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -79,11 +90,16 @@ func run() error {
 		}()
 	}
 	var rec *obs.Recorder
+	var tel *obs.Telemetry
 	if *metrics != "" {
 		if !*engineStats && !*chaos && !*dynamic {
 			return fmt.Errorf("-metrics requires -enginestats, -chaos, or -dynamic (the table experiments are deterministic renders with no run to meter)")
 		}
 		rec = obs.NewRecorder(0)
+		tel = obs.NewTelemetry(nil)
+	}
+	if *benchOut != "" && !*engineStats && !*chaos && !*dynamic && *nodes == "" && *shards == "" {
+		return fmt.Errorf("-bench-out requires a sweep mode (-enginestats, -chaos, -dynamic, -nodes, or -shards)")
 	}
 
 	if *list {
@@ -93,28 +109,28 @@ func run() error {
 		return nil
 	}
 	if *engineStats {
-		if err := runEngineStats(*n, *par, rec); err != nil {
+		if err := runEngineStats(*n, *par, rec, tel, *benchOut); err != nil {
 			return err
 		}
-		return writeMetrics(rec, *metrics)
+		return writeMetrics(rec, tel, *metrics, *metricsFormat)
 	}
 	if *nodes != "" {
-		return runScaleSweep(*nodes, *par)
+		return runScaleSweep(*nodes, *par, *benchOut)
 	}
 	if *shards != "" {
-		return runShardSweep(*shards, *par)
+		return runShardSweep(*shards, *par, *benchOut)
 	}
 	if *chaos {
-		if err := runChaosSweep(rec); err != nil {
+		if err := runChaosSweep(rec, tel, *benchOut); err != nil {
 			return err
 		}
-		return writeMetrics(rec, *metrics)
+		return writeMetrics(rec, tel, *metrics, *metricsFormat)
 	}
 	if *dynamic {
-		if err := runDynamicSweep(rec, *par); err != nil {
+		if err := runDynamicSweep(rec, tel, *par, *benchOut); err != nil {
 			return err
 		}
-		return writeMetrics(rec, *metrics)
+		return writeMetrics(rec, tel, *metrics, *metricsFormat)
 	}
 	if *exp != "" {
 		e := bench.Find(*exp)
@@ -130,16 +146,20 @@ func run() error {
 	return nil
 }
 
-// writeMetrics aggregates the recorded trace into the metrics registry and
-// writes the snapshot — Prometheus text exposition, or JSON when the target
-// has a .json suffix.
-func writeMetrics(rec *obs.Recorder, path string) error {
+// writeMetrics aggregates the recorded trace into the telemetry registry
+// (joining the per-phase wall-time histograms and a final runtime-resource
+// sample) and writes the snapshot. The format flag wins; without it a .json
+// suffix selects JSON and anything else — including "-" for stdout — gets
+// Prometheus text.
+func writeMetrics(rec *obs.Recorder, tel *obs.Telemetry, path, format string) error {
 	if rec == nil || path == "" {
 		return nil
 	}
-	snap := obs.Aggregate(rec.Events()).Snapshot()
+	tel.SampleRuntime()
+	snap := obs.AggregateInto(tel.Registry(), rec.Events()).Snapshot()
+	useJSON := format == "json" || (format == "" && strings.HasSuffix(path, ".json"))
 	emit := func(w *os.File) error {
-		if strings.HasSuffix(path, ".json") {
+		if useJSON {
 			return snap.WriteJSON(w)
 		}
 		return snap.WritePrometheus(w)
@@ -158,11 +178,25 @@ func writeMetrics(rec *obs.Recorder, path string) error {
 	return f.Close()
 }
 
+// writeLedger writes a sweep's BENCH ledger when -bench-out was given and
+// tells the user where it landed (on stderr, clear of the table stream).
+func writeLedger(l *perf.Ledger, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	path, err := l.WriteFile(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+	return nil
+}
+
 // runEngineStats exercises the engine instrumentation hook: greedy MIS on a
 // shuffled-ID ring, one table row per round with wall time, active nodes,
 // deliveries, and payload bits. A non-nil recorder additionally captures the
-// full event trace for -metrics.
-func runEngineStats(n int, parallel bool, rec *obs.Recorder) error {
+// full event trace for -metrics; telemetry adds per-phase round histograms.
+func runEngineStats(n int, parallel bool, rec *obs.Recorder, tel *obs.Telemetry, benchDir string) error {
 	if n < 3 {
 		return fmt.Errorf("-n %d: need at least 3 nodes for a ring", n)
 	}
@@ -174,11 +208,12 @@ func runEngineStats(n int, parallel bool, rec *obs.Recorder) error {
 	}
 	var stats []runtime.RoundStats
 	res, err := runtime.Run(runtime.Config{
-		Graph:    g,
-		Factory:  mis.Solo(mis.Greedy()),
-		Parallel: parallel,
-		Stats:    func(s runtime.RoundStats) { stats = append(stats, s) },
-		Trace:    rec,
+		Graph:     g,
+		Factory:   mis.Solo(mis.Greedy()),
+		Parallel:  parallel,
+		Stats:     func(s runtime.RoundStats) { stats = append(stats, s) },
+		Trace:     rec,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err
@@ -188,5 +223,25 @@ func runEngineStats(n int, parallel bool, rec *obs.Recorder) error {
 	}
 	t.Note("totals: %d rounds, %d messages, max msg bits %d", res.Rounds, res.Messages, res.MaxMsgBits)
 	t.Render(os.Stdout)
+
+	if benchDir != "" {
+		l := perf.New("enginestats", map[string]any{
+			"n": n, "parallel": parallel, "problem": "mis", "family": "ring",
+		})
+		wall := 0.0
+		sample := make([]float64, 0, len(stats))
+		for _, s := range stats {
+			sample = append(sample, s.Duration.Seconds())
+			wall += s.Duration.Seconds()
+		}
+		row := l.AddRow("run", map[string]string{"n": fmt.Sprint(n)}, map[string]float64{
+			"rounds":       float64(res.Rounds),
+			"messages":     float64(res.Messages),
+			"max_msg_bits": float64(res.MaxMsgBits),
+			"wall_seconds": wall,
+		})
+		row.AddHist("round_seconds", sample)
+		return writeLedger(l, benchDir)
+	}
 	return nil
 }

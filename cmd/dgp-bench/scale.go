@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/graph"
+	"repro/internal/perf"
 	"repro/internal/runtime"
 )
 
@@ -80,11 +81,18 @@ func parseSizes(spec string) ([]int, error) {
 	return sizes, nil
 }
 
-// runScaleSweep renders the scale table: one row per (graph family, n).
-func runScaleSweep(spec string, parallel bool) error {
+// runScaleSweep renders the scale table: one row per (graph family, n). A
+// non-empty benchDir writes the matching BENCH_scale.json ledger.
+func runScaleSweep(spec string, parallel bool, benchDir string) error {
 	sizes, err := parseSizes(spec)
 	if err != nil {
 		return err
+	}
+	var ledger *perf.Ledger
+	if benchDir != "" {
+		ledger = perf.New("scale", map[string]any{
+			"sizes": sizes, "parallel": parallel, "rounds": scaleRounds,
+		})
 	}
 	t := &bench.Table{
 		ID:      "SCALE",
@@ -121,10 +129,26 @@ func runScaleSweep(spec string, parallel bool) error {
 				fmt.Sprintf("%.1f", float64(allocs)/float64(rounds)),
 				roundDur(wall),
 			)
+			if ledger != nil {
+				ledger.AddRow(
+					fmt.Sprintf("%s_%d", fam.name, n),
+					map[string]string{"family": fam.name, "n": fmt.Sprint(n)},
+					map[string]float64{
+						"edges":            float64(g.M()),
+						"rounds":           float64(res.Rounds),
+						"msgs_per_round":   float64(res.Messages / rounds),
+						"allocs_per_round": float64(allocs) / float64(rounds),
+						"build_seconds":    buildDur.Seconds(),
+						"wall_seconds":     wall.Seconds(),
+					})
+			}
 		}
 	}
 	t.Note("allocs/round = total Run mallocs (setup included) / rounds; flood machines are slab-allocated so the numbers isolate the engine")
 	t.Render(os.Stdout)
+	if ledger != nil {
+		return writeLedger(ledger, benchDir)
+	}
 	return nil
 }
 

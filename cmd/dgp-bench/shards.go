@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/graph"
+	"repro/internal/perf"
 	"repro/internal/runtime"
 	"repro/internal/shard"
 )
@@ -25,11 +26,18 @@ import (
 const shardSweepN = 100_000
 
 // runShardSweep renders the shard-count table: one row per
-// (graph family, strategy, S).
-func runShardSweep(spec string, parallel bool) error {
+// (graph family, strategy, S). A non-empty benchDir writes the matching
+// BENCH_shards.json ledger.
+func runShardSweep(spec string, parallel bool, benchDir string) error {
 	shardCounts, err := parseShardCounts(spec)
 	if err != nil {
 		return err
+	}
+	var ledger *perf.Ledger
+	if benchDir != "" {
+		ledger = perf.New("shards", map[string]any{
+			"n": shardSweepN, "shards": shardCounts, "parallel": parallel, "rounds": scaleRounds,
+		})
 	}
 	t := &bench.Table{
 		ID:      "CH8",
@@ -65,22 +73,39 @@ func runShardSweep(spec string, parallel bool) error {
 				if err != nil {
 					return err
 				}
-				t.AddRow(fam.name, strategy, s, part.CutEdges(off, adj),
-					row.roundsPerSec, row.boundaryMsgs, row.boundaryBits, row.wall)
+				cut := part.CutEdges(off, adj)
+				t.AddRow(fam.name, strategy, s, cut,
+					fmt.Sprintf("%.1f", row.roundsPerSec),
+					row.boundaryMsgs, row.boundaryBits, roundDur(row.wall))
+				if ledger != nil {
+					ledger.AddRow(
+						fmt.Sprintf("%s_%s_s%d", fam.name, strategy, s),
+						map[string]string{"family": fam.name, "strategy": strategy, "shards": fmt.Sprint(s)},
+						map[string]float64{
+							"cut_edges":               float64(cut),
+							"boundary_msgs_per_round": float64(row.boundaryMsgs),
+							"boundary_bits_per_round": float64(row.boundaryBits),
+							"rounds_per_sec":          row.roundsPerSec,
+							"wall_seconds":            row.wall.Seconds(),
+						})
+				}
 			}
 		}
 	}
 	t.Note("boundary msgs/bits = per-round average traffic crossing shards in the exchange phase; S=1 and the unsharded engine carry none")
 	t.Note("outputs and traces are byte-identical across all rows of a graph family (the sharding determinism contract)")
 	t.Render(os.Stdout)
+	if ledger != nil {
+		return writeLedger(ledger, benchDir)
+	}
 	return nil
 }
 
 type shardRow struct {
-	roundsPerSec string
-	boundaryMsgs string
-	boundaryBits string
-	wall         string
+	roundsPerSec float64
+	boundaryMsgs int
+	boundaryBits int
+	wall         time.Duration
 }
 
 // measureShardRun executes the flood workload once on the given partition
@@ -111,10 +136,10 @@ func measureShardRun(g *graph.Graph, part *shard.Partition, parallel bool) (shar
 		rounds = 1
 	}
 	return shardRow{
-		roundsPerSec: fmt.Sprintf("%.1f", float64(res.Rounds)/wall.Seconds()),
-		boundaryMsgs: fmt.Sprintf("%d", boundaryMsgs/rounds),
-		boundaryBits: fmt.Sprintf("%d", boundaryBits/rounds),
-		wall:         roundDur(wall),
+		roundsPerSec: float64(res.Rounds) / wall.Seconds(),
+		boundaryMsgs: boundaryMsgs / rounds,
+		boundaryBits: boundaryBits / rounds,
+		wall:         wall,
 	}, nil
 }
 

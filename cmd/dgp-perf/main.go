@@ -1,0 +1,163 @@
+// Command dgp-perf reads BENCH_*.json performance ledgers (written by
+// dgp-bench -bench-out) and compares them across runs.
+//
+// Subcommands:
+//
+//	dgp-perf validate DIR            check every ledger in DIR against the schema
+//	dgp-perf compare BASE_DIR HEAD_DIR
+//	                                 markdown delta report for every shared experiment
+//	dgp-perf gate -baseline BASE_DIR HEAD_DIR
+//	                                 compare and exit 1 on any regression or
+//	                                 coverage loss (CI entry point)
+//
+// The noise model is perf.DefaultPolicy: deterministic counters gate exactly,
+// allocs_per_round gates with a small band, wall-clock metrics never gate.
+// See DESIGN.md §13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "validate":
+		err = runValidate(os.Args[2:])
+	case "compare":
+		err = runCompare(os.Args[2:])
+	case "gate":
+		err = runGate(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "dgp-perf: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgp-perf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  dgp-perf validate DIR
+  dgp-perf compare BASE_DIR HEAD_DIR
+  dgp-perf gate -baseline BASE_DIR HEAD_DIR
+`)
+}
+
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate: want exactly one directory")
+	}
+	ledgers, err := perf.ReadDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, exp := range sortedKeys(ledgers) {
+		l := ledgers[exp]
+		fmt.Printf("%s: ok (%d rows, %s, %s)\n",
+			perf.Filename(exp), len(l.Rows), l.Env.GoVersion, l.Env.GOARCH)
+	}
+	return nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare: want BASE_DIR HEAD_DIR")
+	}
+	_, err := compareDirs(fs.Arg(0), fs.Arg(1))
+	return err
+}
+
+func runGate(args []string) error {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "directory of committed baseline ledgers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || fs.NArg() != 1 {
+		return fmt.Errorf("gate: want -baseline BASE_DIR HEAD_DIR")
+	}
+	pass, err := compareDirs(*baseline, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if !pass {
+		return fmt.Errorf("gate: regression against baseline %s", *baseline)
+	}
+	fmt.Println("gate: pass")
+	return nil
+}
+
+// compareDirs reports every baseline experiment against its head twin and
+// returns whether all gates passed. A baseline experiment with no head
+// ledger is a gate failure: the benchmark stopped being measured.
+func compareDirs(baseDir, headDir string) (bool, error) {
+	base, err := perf.ReadDir(baseDir)
+	if err != nil {
+		return false, fmt.Errorf("baseline: %w", err)
+	}
+	head, err := perf.ReadDir(headDir)
+	if err != nil {
+		return false, fmt.Errorf("head: %w", err)
+	}
+	pass := true
+	pol := perf.DefaultPolicy()
+	for _, exp := range sortedKeys(base) {
+		h, ok := head[exp]
+		if !ok {
+			fmt.Printf("## %s — FAIL\n\nbaseline ledger %s has no head twin in %s.\n\n",
+				exp, perf.Filename(exp), headDir)
+			pass = false
+			continue
+		}
+		rep, err := perf.Compare(base[exp], h, pol)
+		if err != nil {
+			return false, err
+		}
+		if err := rep.WriteMarkdown(os.Stdout); err != nil {
+			return false, err
+		}
+		if !rep.Gate() {
+			pass = false
+		}
+	}
+	for _, exp := range sortedKeys(head) {
+		if _, ok := base[exp]; !ok {
+			fmt.Printf("## %s — new\n\nno baseline ledger; commit %s to start gating it.\n\n",
+				exp, perf.Filename(exp))
+		}
+	}
+	return pass, nil
+}
+
+func sortedKeys(m map[string]*perf.Ledger) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

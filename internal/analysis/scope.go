@@ -33,6 +33,7 @@ var DeterministicPkgs = []string{
 	"internal/bench",
 	"internal/problem",
 	"internal/obs",
+	"internal/perf",
 }
 
 // SeededPkgs are the suffixes of packages where every random draw and clock

@@ -97,6 +97,10 @@ type Config struct {
 	// Trace, when non-nil, receives session lifecycle, update, retry, and
 	// engine events.
 	Trace *obs.Recorder
+	// Telemetry, when non-nil, records per-phase round wall-time histograms
+	// for every engine run the session executes (the opening run, every
+	// healing attempt, and from-scratch reruns). Purely observational.
+	Telemetry *obs.Telemetry
 }
 
 // StepReport describes how one delivered batch was absorbed.
@@ -340,6 +344,7 @@ func (s *Session) healStep(rep *StepReport, advFor func(attempt int) runtime.Adv
 			Predictions: preds,
 			Parallel:    s.cfg.Parallel,
 			Trace:       tr,
+			Telemetry:   s.cfg.Telemetry,
 		}
 		if !full {
 			// The final rung abandons the envelope: prediction-free,
@@ -439,6 +444,7 @@ func (s *Session) fullRun() ([]int, *runtime.Result, error) {
 		Predictions: preds,
 		Parallel:    s.cfg.Parallel,
 		Trace:       s.cfg.Trace,
+		Telemetry:   s.cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, nil, err

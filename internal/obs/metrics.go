@@ -215,6 +215,36 @@ func baseName(name string) string {
 	return name
 }
 
+// splitSeries splits a series name into its base name and the raw label
+// body (without braces); labels is "" for an unlabeled series.
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// histSeries renders a derived histogram series name (`<base>_<suffix>`)
+// carrying the histogram's own labels plus any extra label pair, so labeled
+// histograms keep their identity on export: a `dgp_round_seconds{phase="send"}`
+// histogram exports `dgp_round_seconds_bucket{phase="send",le="..."}`
+// buckets, not bare `dgp_round_seconds_bucket` lines that would collide
+// across label sets.
+func histSeries(name, suffix, extraLabel string) string {
+	base, labels := splitSeries(name)
+	switch {
+	case labels == "" && extraLabel == "":
+		return base + "_" + suffix
+	case labels == "":
+		return base + "_" + suffix + "{" + extraLabel + "}"
+	case extraLabel == "":
+		return base + "_" + suffix + "{" + labels + "}"
+	default:
+		return base + "_" + suffix + "{" + labels + "," + extraLabel + "}"
+	}
+}
+
 // fmtFloat renders a metric value the way Prometheus text format expects:
 // integers without a decimal point, everything else in shortest form.
 func fmtFloat(v float64) string {
@@ -250,23 +280,28 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	if err := writeGroup(s.Gauges, "gauge"); err != nil {
 		return err
 	}
+	lastHistBase := ""
 	for _, h := range s.Histograms {
 		base := baseName(h.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
-			return err
+		if base != lastHistBase {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+			lastHistBase = base
 		}
 		for i, b := range h.Bounds {
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", base, fmtFloat(b), h.Counts[i]); err != nil {
+			le := fmt.Sprintf("le=%q", fmtFloat(b))
+			if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(h.Name, "bucket", le), h.Counts[i]); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(h.Name, "bucket", `le="+Inf"`), h.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n", base, fmtFloat(h.Sum)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n", histSeries(h.Name, "sum", ""), fmtFloat(h.Sum)); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", base, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(h.Name, "count", ""), h.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// A stdlib-only lint of the Prometheus text exposition format, in the spirit
+// of promtool check metrics: every export path must produce output a real
+// scraper parses. Checked invariants:
+//
+//   - metric and label names match the Prometheus grammar
+//   - a # TYPE line precedes a metric's first sample, and appears only once
+//   - histogram bucket counts are cumulative (monotone non-decreasing in le
+//     order) and end in an explicit +Inf bucket equal to _count
+//   - no duplicate series (same name + label set)
+//   - every sample value parses as a float
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+)
+
+type promSample struct {
+	name   string            // metric name as written (e.g. dgp_round_seconds_bucket)
+	labels map[string]string // parsed label pairs
+	value  float64
+	line   int
+}
+
+// parseProm lints the raw exposition text and returns its samples.
+func parseProm(t *testing.T, text string) []promSample {
+	t.Helper()
+	var samples []promSample
+	typed := map[string]string{} // base metric -> type
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	seen := map[string]bool{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				t.Fatalf("line %d: bare comment %q (want # TYPE or # HELP)", lineNo, line)
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					t.Fatalf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !promMetricRe.MatchString(name) {
+					t.Fatalf("line %d: invalid metric name %q", lineNo, name)
+				}
+				if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" && typ != "untyped" {
+					t.Fatalf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := typed[name]; dup {
+					t.Fatalf("line %d: second TYPE line for %q", lineNo, name)
+				}
+				typed[name] = typ
+			case "HELP":
+				if len(fields) < 3 {
+					t.Fatalf("line %d: malformed HELP line %q", lineNo, line)
+				}
+			default:
+				t.Fatalf("line %d: unknown comment directive %q", lineNo, line)
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: unparsable sample %q", lineNo, line)
+		}
+		name, labelBody, valueText := m[1], m[2], m[3]
+		if !promMetricRe.MatchString(name) {
+			t.Fatalf("line %d: invalid metric name %q", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			// Prometheus accepts NaN/+Inf/-Inf spellings, which ParseFloat
+			// already handles; anything else is a genuine error.
+			t.Fatalf("line %d: unparsable value %q: %v", lineNo, valueText, err)
+		}
+		labels := parseLabels(t, lineNo, labelBody)
+		// The TYPE line for the sample's metric must already have appeared.
+		// Histogram samples are typed under their base name.
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if _, ok := typed[trimmed]; ok {
+					base = trimmed
+				}
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q before its TYPE line", lineNo, line)
+		}
+		key := name + canonicalLabels(labels)
+		if seen[key] {
+			t.Fatalf("line %d: duplicate series %q", lineNo, key)
+		}
+		seen[key] = true
+		samples = append(samples, promSample{name: name, labels: labels, value: v, line: lineNo})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func parseLabels(t *testing.T, lineNo int, body string) map[string]string {
+	t.Helper()
+	labels := map[string]string{}
+	if body == "" {
+		return labels
+	}
+	body = strings.TrimSuffix(strings.TrimPrefix(body, "{"), "}")
+	for _, pair := range splitLabelPairs(body) {
+		eq := strings.Index(pair, "=")
+		if eq < 0 {
+			t.Fatalf("line %d: malformed label pair %q", lineNo, pair)
+		}
+		name, raw := pair[:eq], pair[eq+1:]
+		if !promLabelRe.MatchString(name) {
+			t.Fatalf("line %d: invalid label name %q", lineNo, name)
+		}
+		val, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("line %d: label %s value %q not a quoted string: %v", lineNo, name, raw, err)
+		}
+		if _, dup := labels[name]; dup {
+			t.Fatalf("line %d: duplicate label %q", lineNo, name)
+		}
+		labels[name] = val
+	}
+	return labels
+}
+
+// splitLabelPairs splits a label body on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var pairs []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				pairs = append(pairs, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		pairs = append(pairs, body[start:])
+	}
+	return pairs
+}
+
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("{")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%q,", k, labels[k])
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// lintHistograms checks bucket monotonicity and the +Inf/_count agreement
+// for every histogram series in the samples.
+func lintHistograms(t *testing.T, samples []promSample) {
+	t.Helper()
+	type histKey struct{ name, labels string }
+	buckets := map[histKey][]promSample{}
+	counts := map[histKey]float64{}
+	for _, s := range samples {
+		if strings.HasSuffix(s.name, "_bucket") {
+			rest := map[string]string{}
+			for k, v := range s.labels {
+				if k != "le" {
+					rest[k] = v
+				}
+			}
+			if _, ok := s.labels["le"]; !ok {
+				t.Fatalf("line %d: histogram bucket without le label", s.line)
+			}
+			k := histKey{strings.TrimSuffix(s.name, "_bucket"), canonicalLabels(rest)}
+			buckets[k] = append(buckets[k], s)
+		}
+		if strings.HasSuffix(s.name, "_count") {
+			counts[histKey{strings.TrimSuffix(s.name, "_count"), canonicalLabels(s.labels)}] = s.value
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets in exposition (test expects at least one histogram)")
+	}
+	for k, bs := range buckets {
+		// Buckets appear in export order; le must be ascending and counts
+		// cumulative.
+		lastLe := -1.0
+		lastCount := -1.0
+		sawInf := false
+		for _, b := range bs {
+			le := b.labels["le"]
+			var bound float64
+			if le == "+Inf" {
+				sawInf = true
+				bound = 0
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("line %d: unparsable le %q", b.line, le)
+				}
+				if sawInf {
+					t.Fatalf("line %d: finite bucket after +Inf in %s%s", b.line, k.name, k.labels)
+				}
+				if bound <= lastLe && lastLe >= 0 {
+					t.Fatalf("line %d: le %q not ascending in %s%s", b.line, le, k.name, k.labels)
+				}
+				lastLe = bound
+			}
+			if b.value < lastCount {
+				t.Fatalf("line %d: bucket counts not cumulative in %s%s (%v < %v)", b.line, k.name, k.labels, b.value, lastCount)
+			}
+			lastCount = b.value
+		}
+		if !sawInf {
+			t.Fatalf("%s%s: no explicit +Inf bucket", k.name, k.labels)
+		}
+		total, ok := counts[k]
+		if !ok {
+			t.Fatalf("%s%s: buckets without a _count series", k.name, k.labels)
+		}
+		if bs[len(bs)-1].value != total {
+			t.Fatalf("%s%s: +Inf bucket %v != _count %v", k.name, k.labels, bs[len(bs)-1].value, total)
+		}
+	}
+}
+
+// populatedRegistry exercises every series shape the repository exports:
+// bare and labeled counters and gauges, and bare and labeled histograms
+// (including multiple label sets of one base name).
+func populatedRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("dgp_rounds_total").Add(12)
+	reg.Counter(`dgp_faults_total{kind="drop"}`).Add(3)
+	reg.Counter(`dgp_faults_total{kind="dup"}`).Add(1)
+	reg.Gauge("dgp_eta").Set(7.5)
+	reg.Gauge(`dgp_eta{measure="flips"}`).Set(3)
+	h := reg.Histogram("dgp_round_seconds", DefaultDurationBuckets)
+	h.Observe(5e-6)
+	h.Observe(0.002)
+	for _, phase := range []string{"send", "route", "receive"} {
+		lh := reg.Histogram(`dgp_round_seconds{phase="`+phase+`",shards="2"}`, DefaultDurationBuckets)
+		lh.Observe(1e-5)
+		lh.Observe(2.5) // lands in +Inf
+	}
+	return reg
+}
+
+func TestPrometheusExpositionLint(t *testing.T) {
+	var sb strings.Builder
+	if err := populatedRegistry().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, sb.String())
+	lintHistograms(t, samples)
+
+	// The labeled histograms must keep their identifying labels on export.
+	found := 0
+	for _, s := range samples {
+		if s.name == "dgp_round_seconds_bucket" && s.labels["phase"] != "" {
+			if s.labels["shards"] != "2" {
+				t.Fatalf("line %d: phase bucket lost its shards label: %v", s.line, s.labels)
+			}
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("labeled histogram buckets missing from exposition")
+	}
+}
+
+func TestPrometheusLintTelemetrySnapshot(t *testing.T) {
+	tel := NewTelemetry(populatedRegistry())
+	tel.RoundHistogram("round", 4).Observe(0.01)
+	tel.SampleRuntime()
+	var sb strings.Builder
+	if err := tel.Registry().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lintHistograms(t, parseProm(t, sb.String()))
+}

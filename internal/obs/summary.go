@@ -363,7 +363,16 @@ func (e *errWriter) printf(format string, args ...any) {
 // Aggregate folds an event stream into a fresh metrics Registry. Counter
 // names follow Prometheus conventions; fault counters carry a kind label.
 func Aggregate(events []Event) *Registry {
-	reg := NewRegistry()
+	return AggregateInto(NewRegistry(), events)
+}
+
+// AggregateInto folds an event stream into an existing registry (created
+// when reg is nil) and returns it, so trace-derived metrics can share one
+// registry with the telemetry gauges and per-phase histograms.
+func AggregateInto(reg *Registry, events []Event) *Registry {
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	for _, e := range events {
 		switch e.Type {
 		case EvTruncated:

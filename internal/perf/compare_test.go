@@ -1,0 +1,211 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func twoLedgers() (base, head *Ledger) {
+	base = New("scale", map[string]any{"sizes": "1000"})
+	base.AddRow("ring_1000", nil, map[string]float64{
+		"rounds":           12,
+		"allocs_per_round": 8,
+		"rounds_per_sec":   52000,
+	})
+	head = New("scale", map[string]any{"sizes": "1000"})
+	head.AddRow("ring_1000", nil, map[string]float64{
+		"rounds":           12,
+		"allocs_per_round": 8,
+		"rounds_per_sec":   48000,
+	})
+	return base, head
+}
+
+func TestCompareIdenticalGates(t *testing.T) {
+	base, head := twoLedgers()
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !rep.Gate() {
+		t.Fatalf("identical gated metrics should pass: %+v", rep)
+	}
+	// The throughput drop is timing, so it must be informational, not a
+	// regression.
+	for _, d := range rep.Deltas {
+		if d.Metric == "rounds_per_sec" && d.Verdict != VerdictInfo {
+			t.Fatalf("rounds_per_sec classified %q, want info", d.Verdict)
+		}
+	}
+}
+
+func TestCompareDeterministicCounterGatesExactly(t *testing.T) {
+	base, head := twoLedgers()
+	head.Rows[0].Metrics["rounds"] = 13
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gate() || rep.Regressions != 1 {
+		t.Fatalf("one extra round must gate: %+v", rep)
+	}
+	// The good direction is an improvement, never a regression.
+	head.Rows[0].Metrics["rounds"] = 11
+	rep, err = Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Gate() {
+		t.Fatalf("fewer rounds must pass: %+v", rep)
+	}
+}
+
+func TestCompareAllocBand(t *testing.T) {
+	base, head := twoLedgers()
+	// Within the band: jitter of +3 allocs on base 8 (allowed max(4, 0.5*8)=4).
+	head.Rows[0].Metrics["allocs_per_round"] = 11
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Gate() {
+		t.Fatalf("+3 allocs on base 8 is inside the noise band: %+v", rep)
+	}
+	// The synthetic 2x regression: 8 -> 16 exceeds the band.
+	head.Rows[0].Metrics["allocs_per_round"] = 16
+	rep, err = Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gate() {
+		t.Fatalf("2x allocs_per_round must gate: %+v", rep)
+	}
+}
+
+func TestCompareMissingRowGates(t *testing.T) {
+	base, head := twoLedgers()
+	base.AddRow("ba_1000", nil, map[string]float64{"rounds": 9})
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gate() || len(rep.MissingRows) != 1 {
+		t.Fatalf("coverage loss must gate: %+v", rep)
+	}
+	// The reverse — a new head row — is informational.
+	base, head = twoLedgers()
+	head.AddRow("ba_1000", nil, map[string]float64{"rounds": 9})
+	rep, err = Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Gate() || len(rep.AddedRows) != 1 {
+		t.Fatalf("new rows should not gate: %+v", rep)
+	}
+}
+
+func TestCompareMissingMetricGates(t *testing.T) {
+	base, head := twoLedgers()
+	delete(head.Rows[0].Metrics, "rounds")
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gate() {
+		t.Fatalf("dropped metric must gate: %+v", rep)
+	}
+}
+
+func TestCompareExperimentMismatch(t *testing.T) {
+	base, head := twoLedgers()
+	head.Experiment = "chaos"
+	if _, err := Compare(base, head, DefaultPolicy()); err == nil {
+		t.Fatal("Compare accepted ledgers of different experiments")
+	}
+}
+
+func TestCompareSurfacesEnvAndConfigDrift(t *testing.T) {
+	base, head := twoLedgers()
+	base.Env.GoVersion = "go1.22.0"
+	head.Env.GoVersion = "go1.24.0"
+	head.Config["sizes"] = "2000"
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.EnvChanged) == 0 || !rep.ConfigChanged {
+		t.Fatalf("drift not surfaced: %+v", rep)
+	}
+}
+
+func TestNoiseAnnotation(t *testing.T) {
+	base, head := twoLedgers()
+	base.Rows[0].Metrics["wall_seconds"] = 0.010
+	head.Rows[0].Metrics["wall_seconds"] = 0.011
+	base.Rows[0].AddHist("wall_seconds", []float64{0.009, 0.010, 0.011, 0.010})
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Deltas {
+		if d.Metric == "wall_seconds" {
+			found = true
+			if d.Verdict != VerdictInfo || !d.Noise {
+				t.Fatalf("wall delta within 3 std should be flagged noise: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("wall_seconds delta missing from report")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	base, head := twoLedgers()
+	head.Rows[0].Metrics["allocs_per_round"] = 16
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	md := sb.String()
+	for _, want := range []string{"## scale — FAIL", "allocs_per_round", "**regression**", "| 8 | 16 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestCommittedFixtures pins the acceptance criterion: the gate passes when a
+// ledger is compared against itself and fails on the committed synthetic 2x
+// allocs/round regression.
+func TestCommittedFixtures(t *testing.T) {
+	basePath := filepath.Join("testdata", "baseline", "BENCH_scale.json")
+	base, err := ReadFile(basePath)
+	if err != nil {
+		t.Fatalf("baseline fixture: %v", err)
+	}
+	self, err := Compare(base, base, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !self.Gate() {
+		t.Fatalf("baseline vs itself must pass: %+v", self)
+	}
+	head, err := ReadFile(filepath.Join("testdata", "regressed", "BENCH_scale.json"))
+	if err != nil {
+		t.Fatalf("regressed fixture: %v", err)
+	}
+	rep, err := Compare(base, head, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gate() || rep.Regressions == 0 {
+		t.Fatalf("2x allocs fixture must fail the gate: %+v", rep)
+	}
+}

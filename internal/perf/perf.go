@@ -1,0 +1,282 @@
+// Package perf is the performance ledger: a machine-readable record of
+// every dgp-bench sweep, and the comparison/gating machinery that keeps the
+// numbers honest across commits.
+//
+// The repository proves the paper's bounds with text tables (EXPERIMENTS.md)
+// — human-readable, but invisible to machines, so a regression in the hot
+// paths (0 allocs/round, boundary-local recovery) could land silently. Each
+// sweep therefore also emits a BENCH_<experiment>.json ledger: the schema
+// carries the experiment id, the full sweep configuration, an environment
+// capture (go version, GOMAXPROCS, CPU model), and one row per measured
+// configuration with named scalar metrics plus optional wall-time sample
+// summaries (internal/stats.FloatSummary).
+//
+// cmd/dgp-perf compares two ledgers (`compare`: markdown delta report) and
+// gates CI (`gate`: non-zero exit on regression). The noise model is
+// per-metric: deterministic counters (rounds, messages, residuals, cut
+// edges) gate exactly, allocation counts gate with a small absolute-plus-
+// relative band (GC timing jitters mallocs by a few), and wall-clock
+// metrics never gate — they are recorded for trend reading, not asserted,
+// because CI machines differ. See DESIGN.md §13.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// SchemaVersion identifies the ledger schema; readers reject other versions
+// so stale baselines fail loudly instead of comparing garbage.
+const SchemaVersion = 1
+
+// Environment captures where a ledger's numbers were measured. Wall-clock
+// metrics are only comparable within one environment; the comparison report
+// surfaces environment differences instead of hiding them.
+type Environment struct {
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"go_version"`
+	// GOOS/GOARCH identify the platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// GOMAXPROCS and NumCPU capture the parallelism available to the run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// CPUModel is the processor model string (best-effort: /proc/cpuinfo on
+	// linux, empty elsewhere).
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// CaptureEnvironment records the current process's environment.
+func CaptureEnvironment() Environment {
+	return Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel reads the first "model name" line of /proc/cpuinfo (linux);
+// best-effort, "" when unavailable.
+func cpuModel() string {
+	if runtime.GOOS != "linux" {
+		return ""
+	}
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// HistSummary is a wall-time sample summary attached to a row (seconds).
+// It is stats.FloatSummary under a JSON schema.
+type HistSummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Sum  float64 `json:"sum"`
+}
+
+// SummarizeSeconds reduces a wall-time sample (seconds) to a HistSummary
+// via internal/stats.
+func SummarizeSeconds(sample []float64) HistSummary {
+	s := stats.SummarizeFloats(sample)
+	return HistSummary{
+		N: s.N, Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max,
+		P50: s.P50, P90: s.P90, P99: s.P99, Sum: s.Sum,
+	}
+}
+
+// Row is one measured configuration of a sweep: a unique name (the row
+// key comparisons join on), descriptive labels, named scalar metrics, and
+// optional wall-time sample summaries.
+type Row struct {
+	Name    string                 `json:"name"`
+	Labels  map[string]string      `json:"labels,omitempty"`
+	Metrics map[string]float64     `json:"metrics"`
+	Hists   map[string]HistSummary `json:"hists,omitempty"`
+}
+
+// Ledger is one sweep's complete benchmark record — the machine-readable
+// twin of an EXPERIMENTS.md table.
+type Ledger struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// Experiment identifies the sweep: enginestats, chaos, dynamic, scale,
+	// shards. It also names the file: BENCH_<experiment>.json.
+	Experiment string `json:"experiment"`
+	// Config is the full sweep configuration (sizes, rates, seeds, engine
+	// mode); comparisons require equal configs or report the mismatch.
+	Config map[string]any `json:"config,omitempty"`
+	// Env captures the producing environment.
+	Env Environment `json:"env"`
+	// Rows are the measurements, in sweep order; names are unique.
+	Rows []Row `json:"rows"`
+}
+
+// New returns an empty ledger for the experiment with the current
+// environment captured.
+func New(experiment string, config map[string]any) *Ledger {
+	return &Ledger{
+		Schema:     SchemaVersion,
+		Experiment: experiment,
+		Config:     config,
+		Env:        CaptureEnvironment(),
+	}
+}
+
+// AddRow appends a row. Metrics is stored as given (not copied).
+func (l *Ledger) AddRow(name string, labels map[string]string, metrics map[string]float64) *Row {
+	l.Rows = append(l.Rows, Row{Name: name, Labels: labels, Metrics: metrics})
+	return &l.Rows[len(l.Rows)-1]
+}
+
+// AddHist attaches a wall-time sample summary to the row.
+func (r *Row) AddHist(name string, sample []float64) {
+	if r.Hists == nil {
+		r.Hists = make(map[string]HistSummary)
+	}
+	r.Hists[name] = SummarizeSeconds(sample)
+}
+
+var (
+	experimentRe = regexp.MustCompile(`^[a-z][a-z0-9_-]*$`)
+	metricRe     = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Validate checks the ledger against the schema: version, experiment and
+// metric naming, non-empty unique rows, and finite metric values. A ledger
+// that fails Validate is refused by WriteFile and by comparisons.
+func (l *Ledger) Validate() error {
+	if l.Schema != SchemaVersion {
+		return fmt.Errorf("perf: schema %d, want %d", l.Schema, SchemaVersion)
+	}
+	if !experimentRe.MatchString(l.Experiment) {
+		return fmt.Errorf("perf: invalid experiment id %q", l.Experiment)
+	}
+	if len(l.Rows) == 0 {
+		return fmt.Errorf("perf: %s: no rows", l.Experiment)
+	}
+	seen := make(map[string]bool, len(l.Rows))
+	for i, r := range l.Rows {
+		if r.Name == "" {
+			return fmt.Errorf("perf: %s: row %d has no name", l.Experiment, i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("perf: %s: duplicate row %q", l.Experiment, r.Name)
+		}
+		seen[r.Name] = true
+		if len(r.Metrics) == 0 {
+			return fmt.Errorf("perf: %s: row %q has no metrics", l.Experiment, r.Name)
+		}
+		for _, name := range r.metricNames() {
+			if !metricRe.MatchString(name) {
+				return fmt.Errorf("perf: %s: row %q: invalid metric name %q", l.Experiment, r.Name, name)
+			}
+			if v := r.Metrics[name]; math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("perf: %s: row %q: metric %q is %v", l.Experiment, r.Name, name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// metricNames returns the row's metric names in ascending order (map
+// iteration feeds a sort, never output directly).
+func (r *Row) metricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for name := range r.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Filename is the on-disk name of an experiment's ledger.
+func Filename(experiment string) string { return "BENCH_" + experiment + ".json" }
+
+// WriteFile validates the ledger and writes it as indented JSON to
+// dir/BENCH_<experiment>.json (creating dir), returning the path.
+func (l *Ledger) WriteFile(dir string) (string, error) {
+	if err := l.Validate(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, Filename(l.Experiment))
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadFile parses and validates one ledger file.
+func ReadFile(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &l, nil
+}
+
+// ReadDir reads every BENCH_*.json ledger in dir, keyed by experiment.
+func ReadDir(dir string) (map[string]*Ledger, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ledgers := make(map[string]*Ledger)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		l, err := ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := ledgers[l.Experiment]; ok {
+			return nil, fmt.Errorf("perf: %s: experiment %q already loaded (duplicate of %s)",
+				name, l.Experiment, Filename(prev.Experiment))
+		}
+		ledgers[l.Experiment] = l
+	}
+	if len(ledgers) == 0 {
+		return nil, fmt.Errorf("perf: %s: no BENCH_*.json ledgers", dir)
+	}
+	return ledgers, nil
+}

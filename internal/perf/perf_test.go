@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleLedger() *Ledger {
+	l := New("scale", map[string]any{"sizes": []int{1000, 10000}, "par": false})
+	l.AddRow("ring_1000", map[string]string{"family": "ring", "n": "1000"}, map[string]float64{
+		"rounds":           12,
+		"allocs_per_round": 1.1,
+		"rounds_per_sec":   52000,
+	})
+	r := l.AddRow("ba_1000", map[string]string{"family": "ba", "n": "1000"}, map[string]float64{
+		"rounds":           9,
+		"allocs_per_round": 258.4,
+	})
+	r.AddHist("wall_seconds", []float64{0.010, 0.011, 0.012, 0.010})
+	return l
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sampleLedger().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Ledger)
+		want   string
+	}{
+		{"schema", func(l *Ledger) { l.Schema = 99 }, "schema"},
+		{"experiment id", func(l *Ledger) { l.Experiment = "Scale Table" }, "experiment id"},
+		{"no rows", func(l *Ledger) { l.Rows = nil }, "no rows"},
+		{"empty row name", func(l *Ledger) { l.Rows[0].Name = "" }, "no name"},
+		{"duplicate row", func(l *Ledger) { l.Rows[1].Name = l.Rows[0].Name }, "duplicate"},
+		{"no metrics", func(l *Ledger) { l.Rows[0].Metrics = nil }, "no metrics"},
+		{"metric name", func(l *Ledger) { l.Rows[0].Metrics["bad name"] = 1 }, "metric name"},
+		{"NaN", func(l *Ledger) { l.Rows[0].Metrics["rounds"] = math.NaN() }, "NaN"},
+		{"Inf", func(l *Ledger) { l.Rows[0].Metrics["rounds"] = math.Inf(1) }, "+Inf"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := sampleLedger()
+			tc.mutate(l)
+			err := l.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken ledger")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := sampleLedger()
+	path, err := l.WriteFile(dir)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if filepath.Base(path) != "BENCH_scale.json" {
+		t.Fatalf("wrote %q, want BENCH_scale.json", path)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	want, _ := json.Marshal(l)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatalf("roundtrip mismatch:\nwrote %s\nread  %s", want, have)
+	}
+	if got.Rows[1].Hists["wall_seconds"].N != 4 {
+		t.Fatalf("hist summary lost in roundtrip: %+v", got.Rows[1].Hists)
+	}
+}
+
+func TestWriteFileRefusesInvalid(t *testing.T) {
+	l := sampleLedger()
+	l.Rows = nil
+	if _, err := l.WriteFile(t.TempDir()); err == nil {
+		t.Fatal("WriteFile accepted an invalid ledger")
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := sampleLedger().WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	other := New("chaos", nil)
+	other.AddRow("mis", nil, map[string]float64{"rounds": 7})
+	if _, err := other.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	ledgers, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(ledgers) != 2 || ledgers["scale"] == nil || ledgers["chaos"] == nil {
+		t.Fatalf("ReadDir loaded %d ledgers, want scale+chaos", len(ledgers))
+	}
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Fatal("ReadDir accepted a dir with no ledgers")
+	}
+}
+
+func TestCaptureEnvironment(t *testing.T) {
+	env := CaptureEnvironment()
+	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" {
+		t.Fatalf("incomplete environment: %+v", env)
+	}
+	if env.GOMAXPROCS < 1 || env.NumCPU < 1 {
+		t.Fatalf("implausible parallelism: %+v", env)
+	}
+}
+
+func TestSummarizeSeconds(t *testing.T) {
+	s := SummarizeSeconds([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Sum != 10 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+}

@@ -81,6 +81,13 @@ type Config struct {
 	// modes; only wall-clock durations differ. Purely observational. When
 	// nil the instrumented paths reduce to a nil check.
 	Trace *obs.Recorder
+	// Telemetry, when non-nil, receives per-phase round wall-time
+	// observations into dgp_round_seconds{phase,shards} histograms (phases:
+	// send, route, receive, round). The histograms are resolved once on the
+	// run's setup path; the round loop only reads the observational clock
+	// and updates pre-resolved histograms, so semantics are untouched and a
+	// nil Telemetry costs a single pointer check per round.
+	Telemetry *obs.Telemetry
 }
 
 // RoundStats is the engine's per-round instrumentation record, reported
@@ -294,7 +301,8 @@ func Run(cfg Config) (*Result, error) {
 		st.trace.Emit(obs.Event{Type: obs.EvRunStart, Value: int64(n), Aux: int64(g.M())})
 	}
 
-	timed := cfg.Stats != nil || st.trace != nil
+	telemetry := st.telRound != nil
+	timed := cfg.Stats != nil || st.trace != nil || telemetry
 	for round := 1; st.activeCount > 0; round++ {
 		if round > maxRounds {
 			err := fmt.Errorf("%w (round %d, %d nodes active)", ErrNoTermination, maxRounds, st.activeCount)
@@ -303,12 +311,14 @@ func Run(cfg Config) (*Result, error) {
 			st.traceRunEnd(maxRounds, res, err)
 			return nil, err
 		}
-		var start time.Time
+		var start, mark time.Time
 		if timed {
 			// Observational wall-clock only (RoundStats.Duration, trace
-			// DurNS); the obs funnel is exempted package-wide by the
-			// seededrand analyzer and never feeds back into semantics.
+			// DurNS, telemetry histograms); the obs funnel is exempted
+			// package-wide by the seededrand analyzer and never feeds back
+			// into semantics.
 			start = obs.Now()
+			mark = start
 		}
 		st.beginRound(round)
 		activeThisRound := st.activeCount
@@ -320,10 +330,16 @@ func Run(cfg Config) (*Result, error) {
 			st.traceAbort(round, res, err, "send", true)
 			return nil, err
 		}
+		if telemetry {
+			mark = telObserve(st.telSend, mark)
+		}
 		if len(st.lanes) > 1 {
 			st.routeSharded(round, res)
 		} else {
 			st.route(round, res)
+		}
+		if telemetry {
+			mark = telObserve(st.telRoute, mark)
 		}
 		if err := st.phase(st.receiveFn, round, "receive"); err != nil {
 			st.traceAbort(round, res, err, "receive", false)
@@ -333,10 +349,16 @@ func Run(cfg Config) (*Result, error) {
 			st.traceAbort(round, res, err, "receive", true)
 			return nil, err
 		}
+		if telemetry {
+			telObserve(st.telReceive, mark)
+		}
 		st.endRound(round, res)
 		var dur time.Duration
 		if timed {
 			dur = obs.Since(start)
+		}
+		if telemetry {
+			st.telRound.Observe(dur.Seconds())
 		}
 		if st.trace != nil {
 			st.trace.Emit(obs.Event{
@@ -370,6 +392,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	st.traceRunEnd(res.Rounds, res, nil)
 	return res, nil
+}
+
+// telObserve records the wall time elapsed since mark into the phase
+// histogram and returns a fresh mark for the next phase. Callers guard with
+// the telemetry flag, so h is never nil here and disabled telemetry costs
+// one boolean test per phase.
+func telObserve(h *obs.Histogram, mark time.Time) time.Time {
+	now := obs.Now()
+	h.Observe(now.Sub(mark).Seconds())
+	return now
 }
 
 // traceRunEnd emits the terminal run-end event (no-op without a recorder).
@@ -545,6 +577,11 @@ type state struct {
 	// trace is the attached event recorder (nil = tracing disabled).
 	trace *obs.Recorder
 
+	// Pre-resolved telemetry histograms (nil = telemetry disabled): the
+	// round loop observes phase wall times into these without any label
+	// formatting or map lookups on the hot path.
+	telSend, telRoute, telReceive, telRound *obs.Histogram
+
 	// observedOutputs/observedActive back Config.Observer; allocated only
 	// when an observer is attached and maintained incrementally (settled
 	// nodes never change after leaving the frontier).
@@ -583,6 +620,16 @@ func newState(cfg Config, g *graph.Graph, n int, crashes map[int]int) *state {
 		terminatedThisSend: make([]bool, n),
 		maxMsgBits:         -1,
 		trace:              cfg.Trace,
+	}
+	if cfg.Telemetry != nil {
+		shards := cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		st.telSend = cfg.Telemetry.RoundHistogram("send", shards)
+		st.telRoute = cfg.Telemetry.RoundHistogram("route", shards)
+		st.telReceive = cfg.Telemetry.RoundHistogram("receive", shards)
+		st.telRound = cfg.Telemetry.RoundHistogram("round", shards)
 	}
 	st.sendFn = st.sendPhase
 	st.receiveFn = st.receivePhase

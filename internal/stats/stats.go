@@ -51,14 +51,65 @@ func percentile(sorted []int, q float64) int {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	return sorted[rankIndex(len(sorted), q)]
+}
+
+// rankIndex is the nearest-rank index of quantile q in a sample of size n.
+func rankIndex(n int, q float64) int {
+	idx := int(math.Ceil(q*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
-	return sorted[idx]
+	return idx
+}
+
+// FloatSummary describes a sample of float64 observations — the noise model
+// behind the performance ledger (internal/perf): wall-time samples are
+// reduced to these summaries, and ledger comparisons treat deltas within a
+// few Std of the baseline mean as noise rather than regression.
+type FloatSummary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+	Sum           float64
+}
+
+// SummarizeFloats computes a FloatSummary of the sample (empty samples yield
+// zeros; the input is not modified).
+func SummarizeFloats(sample []float64) FloatSummary {
+	s := FloatSummary{N: len(sample)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	s.P50 = sorted[rankIndex(s.N, 0.50)]
+	s.P90 = sorted[rankIndex(s.N, 0.90)]
+	s.P99 = sorted[rankIndex(s.N, 0.99)]
+	for _, v := range sorted {
+		s.Sum += v
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, v := range sorted {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// String renders the float summary compactly.
+func (s FloatSummary) String() string {
+	return fmt.Sprintf("mean %.4g ± %.4g [%.4g..%.4g] p50 %.4g p90 %.4g (n=%d)",
+		s.Mean, s.Std, s.Min, s.Max, s.P50, s.P90, s.N)
 }
 
 // String renders the summary compactly.

@@ -194,6 +194,12 @@ type Options struct {
 	// wall-clock durations differ); export it with the obs helpers or the
 	// dgp-trace CLI. Tracing disabled (nil) costs a pointer check.
 	Trace *TraceRecorder
+	// Telemetry, when non-nil, records per-phase round wall-time histograms
+	// (dgp_round_seconds{phase,shards}) into its metrics registry; sample
+	// process resource gauges with Telemetry.SampleRuntime and export with
+	// MetricsRegistry snapshots or the ServeDebug HTTP handler. Purely
+	// observational; nil costs a pointer check.
+	Telemetry *Telemetry
 }
 
 // Trace types re-exported for library users.
@@ -202,11 +208,30 @@ type (
 	TraceRecorder = obs.Recorder
 	// TraceEvent is one typed trace record.
 	TraceEvent = obs.Event
+	// Telemetry is the runtime resource telemetry recorder: per-phase round
+	// wall-time histograms plus runtime/metrics-sampled heap, goroutine,
+	// and GC gauges, all written into a MetricsRegistry.
+	Telemetry = obs.Telemetry
+	// MetricsRegistry is the counters/gauges/histograms registry behind
+	// Telemetry and the trace aggregation; snapshots export Prometheus text
+	// or JSON.
+	MetricsRegistry = obs.Registry
 )
 
 // NewTraceRecorder returns a recorder holding at most capacity events
 // (capacity <= 0 selects the default, 65536). Attach it via Options.Trace.
 func NewTraceRecorder(capacity int) *TraceRecorder { return obs.NewRecorder(capacity) }
+
+// NewTelemetry returns a telemetry recorder writing into reg (a fresh
+// registry when reg is nil). Attach it via Options.Telemetry or
+// SessionOptions.Telemetry.
+func NewTelemetry(reg *MetricsRegistry) *Telemetry { return obs.NewTelemetry(reg) }
+
+// ServeDebug returns an http.Handler bundling /metrics (Prometheus text of
+// t's registry with runtime gauges re-sampled per scrape), /healthz, and
+// the /debug/pprof profiling endpoints — the operational debug surface for
+// long-running processes embedding this library.
+var ServeDebug = obs.ServeDebug
 
 // Engine and chaos types re-exported for library users.
 type (
@@ -297,6 +322,7 @@ func buildConfig(g *Graph, factory runtime.Factory, preds []any, opts Options) r
 		Adversary:      opts.Adversary,
 		RoundDeadline:  opts.RoundDeadline,
 		Trace:          opts.Trace,
+		Telemetry:      opts.Telemetry,
 	}
 }
 

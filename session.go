@@ -56,6 +56,9 @@ type SessionOptions struct {
 	// Trace, when non-nil, records session lifecycle, update, retry, and
 	// engine events.
 	Trace *TraceRecorder
+	// Telemetry, when non-nil, records per-phase round wall-time histograms
+	// for every engine run the session executes; see Options.Telemetry.
+	Telemetry *Telemetry
 }
 
 // Session owns a mutable graph and a continuously valid solution on it.
@@ -80,6 +83,7 @@ func NewSession(g *Graph, problemName string, opts SessionOptions) (*Session, er
 		StepDeadline:  opts.StepDeadline,
 		Adversary:     opts.Adversary,
 		Trace:         opts.Trace,
+		Telemetry:     opts.Telemetry,
 	})
 	if err != nil {
 		return nil, err
